@@ -1,0 +1,51 @@
+"""F1 — Figure 1 regenerated: one improving exchange.
+
+The paper's Figure 1 shows root p of maximum degree; the protocol
+Deletes a (p, child) edge and Adds an outgoing edge between two
+fragments, lowering deg(p) by one. We run the reconstructed instance and
+assert the exchange happens exactly as drawn, and benchmark the latency
+of a full single-improvement round.
+"""
+
+from repro.analysis import Table
+from repro.graphs import Graph, tree_from_edges
+from repro.mdst import run_mdst
+
+
+def _fig1_instance():
+    graph = Graph(
+        edges=[
+            (0, 1), (0, 2), (0, 3), (0, 4),  # star at p = 0 (degree 4)
+            (1, 5), (2, 6),                  # fragments below children 1, 2
+            (5, 6),                          # the outgoing edge of Fig. 1
+        ]
+    )
+    tree = tree_from_edges(0, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (2, 6)])
+    return graph, tree
+
+
+def test_f1_exchange(benchmark, emit):
+    graph, tree = _fig1_instance()
+
+    result = benchmark.pedantic(
+        lambda: run_mdst(graph, tree, check_invariants=True),
+        rounds=3,
+        iterations=1,
+    )
+
+    table = Table(
+        ["quantity", "figure 1", "measured"],
+        title="F1 — the edge exchange of Figure 1",
+    )
+    deleted = (0, 1) not in result.final_tree.edges() or (0, 2) not in result.final_tree.edges()
+    table.add("deg(p) before", 4, result.initial_tree.degree(0))
+    table.add("deg(p) after", 3, result.final_tree.degree(0))
+    table.add("added edge", "(C, D) cousin edge", "(5, 6)" if (5, 6) in result.final_tree.edges() else "none")
+    table.add("deleted (p, child) edge", "yes", deleted)
+    table.add("exchanges committed", 1, sum(r.improved for r in result.rounds))
+    emit("f1_exchange", table.render())
+
+    assert result.final_tree.degree(0) == 3
+    assert (5, 6) in result.final_tree.edges()
+    assert deleted
+    assert sum(r.improved for r in result.rounds) == 1

@@ -1,0 +1,57 @@
+"""Micro-benchmarks of the hot substrate paths (per the hpc-parallel
+guides: measure before optimizing; these guard the constants).
+
+* event queue push/pop throughput (the simulator's inner loop);
+* graph generation (numpy-vectorized G(n, p));
+* GHS end-to-end (the heaviest startup construction);
+* one full MDegST round on a mid-size network.
+"""
+
+from repro.graphs import gnp_connected
+from repro.mdst import MDSTConfig, run_mdst
+from repro.sim import EventKind, EventQueue
+from repro.spanning import build_spanning_tree, greedy_hub_tree
+
+
+def test_micro_event_queue(benchmark):
+    def churn():
+        q = EventQueue()
+        for i in range(2000):
+            q.push(float(i % 97), EventKind.START, target=i)
+        while q:
+            q.pop()
+
+    benchmark(churn)
+
+
+def test_micro_gnp_generation(benchmark):
+    benchmark(lambda: gnp_connected(128, 0.08, seed=1))
+
+
+def test_micro_ghs(benchmark):
+    g = gnp_connected(48, 0.15, seed=2)
+    result = benchmark.pedantic(
+        lambda: build_spanning_tree(g, method="ghs"), rounds=3, iterations=1
+    )
+    assert result.tree.is_spanning_tree_of(g)
+
+
+def test_micro_one_round(benchmark):
+    g = gnp_connected(48, 0.15, seed=3)
+    t0 = greedy_hub_tree(g)
+
+    result = benchmark.pedantic(
+        lambda: run_mdst(g, t0, config=MDSTConfig(max_rounds=1)),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.num_rounds <= 1
+
+
+def test_micro_full_protocol(benchmark):
+    g = gnp_connected(64, 0.1, seed=4)
+    t0 = greedy_hub_tree(g)
+    result = benchmark.pedantic(
+        lambda: run_mdst(g, t0), rounds=3, iterations=1
+    )
+    assert result.final_degree <= result.initial_degree

@@ -1,0 +1,61 @@
+"""T1 — degree quality (claim C1: final degree ≤ Δ* + 1).
+
+Ground truth comes from the exact solver (n ≤ 14) and from the
+Hamiltonian-padded family (Δ* = 2 by construction) at larger sizes.
+The table reports paper-claim vs measured for every instance.
+"""
+
+import pytest
+
+from repro.analysis import Table
+from repro.graphs import (
+    complete,
+    gnp_connected,
+    hamiltonian_padded,
+    make_family,
+    wheel,
+)
+from repro.mdst import run_mdst
+from repro.sequential import optimal_degree
+from repro.spanning import greedy_hub_tree
+
+EXACT_CASES = [
+    ("complete", complete(10)),
+    ("wheel", wheel(12)),
+    ("gnp", gnp_connected(12, 0.35, seed=1)),
+    ("gnp", gnp_connected(14, 0.3, seed=2)),
+    ("hamiltonian", hamiltonian_padded(12, 14, seed=3)),
+]
+
+HAM_SIZES = [24, 36, 48]
+
+
+def test_t1_degree_quality(benchmark, emit):
+    table = Table(
+        ["family", "n", "k initial", "k final", "Δ*", "claim ≤ Δ*+1", "holds"],
+        title="T1 — degree quality vs ground truth (claim C1)",
+    )
+    rows_hold = []
+
+    def run_all():
+        results = []
+        for name, g in EXACT_CASES:
+            t0 = greedy_hub_tree(g)
+            res = run_mdst(g, t0, seed=0)
+            results.append((name, g, res, optimal_degree(g)))
+        for n in HAM_SIZES:
+            g = hamiltonian_padded(n, 2 * n, seed=n)
+            res = run_mdst(g, greedy_hub_tree(g), seed=0)
+            results.append((f"hamiltonian", g, res, 2))
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for name, g, res, opt in results:
+        holds = res.final_degree <= opt + 1
+        rows_hold.append(holds)
+        table.add(
+            name, g.n, res.initial_degree, res.final_degree, opt, opt + 1, holds
+        )
+    emit("t1_degree_quality", table.render())
+    # shape assertion: the +1 claim holds on every ground-truth instance
+    assert all(rows_hold)

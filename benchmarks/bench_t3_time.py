@@ -1,0 +1,50 @@
+"""T3 — time complexity (claim C3: O((k − k*)·n) time units).
+
+Causal time = longest causal dependency chain with unit message delays —
+the paper's measure exactly. Regressed against (k − k* + 1)·n.
+"""
+
+from repro.analysis import SweepSpec, Table, fit_claim, run_sweep
+
+
+def test_t3_time_complexity(benchmark, emit):
+    spec = SweepSpec(
+        families=("gnp_sparse", "geometric"),
+        sizes=(16, 24, 32, 48, 64),
+        seeds=(0, 1, 2),
+        initial_methods=("echo",),
+        modes=("concurrent",),
+    )
+    records = benchmark.pedantic(run_sweep, args=(spec,), rounds=1, iterations=1)
+
+    table = Table(
+        ["family", "n", "m", "k0", "k*", "causal time", "time/((k−k*+1)·n)"],
+        title="T3 — causal time vs the O((k−k*)·n) claim (C3)",
+    )
+    for r in records:
+        table.add(
+            r.family, r.n, r.m, r.k_initial, r.k_final, r.causal_time,
+            round(r.time_normalized, 2),
+        )
+    # per-round causal chains are Θ(n) (search + move + wave + echo);
+    per_round = fit_claim(
+        records,
+        x_of=lambda r: (r.rounds + 1) * r.n,
+        y_of=lambda r: r.causal_time,
+    )
+    claim = fit_claim(
+        records,
+        x_of=lambda r: (r.degree_drop + 1) * r.n,
+        y_of=lambda r: r.causal_time,
+    )
+    text = (
+        table.render()
+        + f"\n\nper-round budget fit: causal_time {per_round.fmt()}  [x = (rounds+1)·n]"
+        + f"\nend-to-end claim fit: causal_time {claim.fmt()}  [x = (k−k*+1)·n]"
+    )
+    emit("t3_time", text)
+
+    assert per_round.r_squared >= 0.85
+    assert per_round.slope <= 8.0
+    assert claim.r_squared >= 0.50
+    assert all(r.time_normalized <= 15 for r in records)

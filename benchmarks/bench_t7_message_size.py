@@ -1,0 +1,38 @@
+"""T7 — message size (claim C5: every message carries at most four
+numbers/identities, i.e. O(log n) bits).
+
+Audited live on real runs: the metrics layer records the maximum number
+of identity-sized fields over every message sent, and total bit volume
+under ceil(log2 n)-bit identity encoding.
+"""
+
+import math
+
+from repro.analysis import Table, run_single
+
+
+def test_t7_message_size(benchmark, emit):
+    def run_all():
+        recs = []
+        for n in (16, 32, 64, 96):
+            recs.append(run_single("gnp_sparse", n, seed=0))
+        return recs
+
+    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    table = Table(
+        ["n", "messages", "max id-fields/msg", "claim ≤ 4", "bits/msg",
+         "4·log2(n)+5"],
+        title="T7 — message size audit (claim C5: O(log n) bits)",
+    )
+    for r in records:
+        bits_per_msg = r.bits / max(r.messages, 1)
+        budget = 4 * math.ceil(math.log2(r.n)) + 5
+        table.add(
+            r.n, r.messages, r.max_msg_fields, r.max_msg_fields <= 4,
+            round(bits_per_msg, 1), budget,
+        )
+    emit("t7_message_size", table.render())
+
+    assert all(r.max_msg_fields <= 4 for r in records)
+    for r in records:
+        assert r.bits / max(r.messages, 1) <= 4 * math.ceil(math.log2(r.n)) + 5

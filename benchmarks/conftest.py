@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark suite.
+
+Every bench regenerates one experiment of DESIGN.md §3 and *emits* its
+paper-style table: printed (visible with ``-s``) and written under
+``benchmarks/out/`` so the rows survive pytest's capture either way.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+OUT_DIR = Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session")
+def emit():
+    """Return a callable ``emit(name, text)`` that persists + prints a
+    benchmark table."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def _emit(name: str, text: str) -> None:
+        (OUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n")
+
+    return _emit

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Broadcast load balancing — the paper's §1 motivation, made concrete.
+
+"If, in such a tree, the degree of a node is large, it might cause an
+undesirable communication load in that node."
+
+We broadcast a message over three spanning trees of the same network —
+the MST (GHS), the BFS tree, and the MDegST produced by the paper's
+protocol — and measure the *per-node forwarding load* (number of copies a
+node must transmit = its number of children). The MDegST tree trades a
+little depth (latency) for a much lower maximum load.
+
+Run:  python examples/broadcast_load.py
+"""
+
+from repro.analysis import Table
+from repro.graphs import RootedTree, preferential_attachment
+from repro.mdst import run_mdst
+from repro.spanning import build_spanning_tree
+
+
+def broadcast_stats(tree: RootedTree) -> tuple[int, float, int]:
+    """(max forwarding load, mean load over internal nodes, depth)."""
+    loads = [len(tree.children(u)) for u in tree.nodes()]
+    internal = [x for x in loads if x > 0]
+    return max(loads), sum(internal) / len(internal), tree.height()
+
+
+# hub-heavy topology: exactly where degree concentration hurts
+graph = preferential_attachment(n=60, k=2, seed=11)
+print(f"scale-free network: n={graph.n}, m={graph.m}, "
+      f"max graph degree {graph.max_degree()}")
+
+trees: dict[str, RootedTree] = {}
+trees["GHS MST"] = build_spanning_tree(graph, method="ghs").tree
+trees["BFS tree"] = build_spanning_tree(graph, method="echo").tree
+mdst_result = run_mdst(graph, trees["BFS tree"], seed=11)
+trees["MDegST (this paper)"] = mdst_result.final_tree
+
+table = Table(
+    ["spanning tree", "max degree", "max fwd load", "mean fwd load", "depth"],
+    title="Broadcast forwarding load per spanning tree",
+)
+for name, tree in trees.items():
+    max_load, mean_load, depth = broadcast_stats(tree)
+    table.add(name, tree.max_degree(), max_load, round(mean_load, 2), depth)
+print()
+print(table.render())
+
+print()
+print(
+    f"MDegST lowered the worst node's forwarding load from "
+    f"{broadcast_stats(trees['BFS tree'])[0]} (BFS) to "
+    f"{broadcast_stats(trees['MDegST (this paper)'])[0]} copies,"
+)
+print(
+    f"using {mdst_result.messages} protocol messages over "
+    f"{mdst_result.num_rounds} rounds."
+)

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Initial-tree ablation (the paper's §4.2 closing remark).
+
+"Of course we can hope to change a bit the algorithm of ST construction
+in order to obtain a not so bad k."
+
+The protocol's cost is O((k − k*)·m) messages where k is the *initial*
+tree's degree — so the startup construction matters. We run the same
+network through every construction in the library (distributed GHS / echo
+/ token-DFS and the centralized references) and compare initial k, final
+k*, rounds, and message cost.
+
+Run:  python examples/compare_initial_trees.py
+"""
+
+from repro.analysis import Table
+from repro.graphs import gnp_connected
+from repro.mdst import run_mdst
+from repro.spanning import build_spanning_tree
+
+graph = gnp_connected(n=48, p=0.12, seed=21)
+print(f"network: n={graph.n}, m={graph.m}")
+
+methods = [
+    ("echo (BFS-like)", "echo"),
+    ("token DFS", "dfs"),
+    ("GHS MST", "ghs"),
+    ("centralized BFS", "bfs"),
+    ("centralized DFS", "cdfs"),
+    ("random tree", "random"),
+    ("greedy hub (adversarial)", "greedy_hub"),
+]
+
+table = Table(
+    ["construction", "k initial", "k final", "rounds", "protocol msgs",
+     "startup msgs", "causal time"],
+    title="Effect of the startup spanning tree (paper §4.2)",
+)
+for label, method in methods:
+    startup = build_spanning_tree(graph, method=method, seed=21)
+    result = run_mdst(graph, startup.tree, seed=21)
+    table.add(
+        label,
+        result.initial_degree,
+        result.final_degree,
+        result.num_rounds,
+        result.messages,
+        startup.report.total_messages if startup.report else 0,
+        result.causal_time,
+    )
+print()
+print(table.render())
+print()
+print(
+    "Reading: a lower initial k (DFS-like trees) means fewer rounds and\n"
+    "fewer messages, exactly as the O((k - k*)·m) bound predicts; the\n"
+    "adversarial hub tree is the worst case the complexity analysis\n"
+    "charges for."
+)

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Figure 1 walkthrough: one edge exchange, step by step.
+
+The paper's Figure 1 shows the root p of maximum degree, a child x whose
+fragment contains an outgoing edge to another fragment; the exchange
+Deletes (p, x) and Adds the outgoing edge, reducing deg(p) by one.
+
+We reconstruct that exact situation on a small named graph, run a single
+round with tracing enabled, and print the message timeline annotated with
+the paper's phase names — you can watch SearchDegree, Cut, the BFS wave
+(with the 'cousin' replies of Figure 2), the Choose/update exchange, and
+termination happen.
+
+Run:  python examples/fig1_walkthrough.py
+"""
+
+from repro.graphs import Graph, tree_from_edges
+from repro.mdst import run_mdst
+from repro.sim import TraceRecorder
+from repro.viz import phase_timeline, render_tree, round_narrative
+
+# The Figure-1 scenario: p = 0 has degree 4 (children 1..4); the subtrees
+# under 1 and 2 are joined by the non-tree edge (5, 6) — the outgoing
+# edge the BFS wave will discover ("cousin" edge, dashed in Figure 2).
+graph = Graph(
+    edges=[
+        (0, 1), (0, 2), (0, 3), (0, 4),  # star at p=0
+        (1, 5), (2, 6),                  # two fragments below p
+        (5, 6),                          # the outgoing edge of Figure 1
+    ]
+)
+initial = tree_from_edges(0, [(0, 1), (0, 2), (0, 3), (0, 4), (1, 5), (2, 6)])
+
+print("initial tree (p = 0 has maximum degree 4):")
+print(render_tree(initial))
+print()
+
+trace = TraceRecorder()
+result = run_mdst(graph, initial, trace=trace, check_invariants=True)
+
+print("message timeline (paper phase / src -> dst / message):")
+print(phase_timeline(trace))
+print()
+print("per-phase message counts:")
+print(round_narrative(trace))
+print()
+
+print("final tree — the exchange Deleted (0, x) and Added (5, 6):")
+print(render_tree(result.final_tree))
+print()
+print(
+    f"degree of p: {initial.max_degree()} -> "
+    f"{result.final_tree.degree(0)}; tree degree "
+    f"{result.initial_degree} -> {result.final_degree}"
+)
+assert (5, 6) in result.final_tree.edges()

@@ -1,0 +1,28 @@
+"""Experiment harness: sweeps, records, aggregation, fits, tables."""
+
+from .aggregate import Summary, group_by, summarize
+from .experiments import EXPERIMENTS, run_experiment
+from .fitting import Fit, fit_affine, fit_claim, fit_proportional
+from .harness import SweepSpec, run_single, run_sweep
+from .records import RunRecord, load_records, save_records
+from .tables import Table, render_table
+
+__all__ = [
+    "RunRecord",
+    "save_records",
+    "load_records",
+    "SweepSpec",
+    "run_single",
+    "run_sweep",
+    "Summary",
+    "summarize",
+    "group_by",
+    "Fit",
+    "fit_proportional",
+    "fit_affine",
+    "fit_claim",
+    "Table",
+    "render_table",
+    "EXPERIMENTS",
+    "run_experiment",
+]

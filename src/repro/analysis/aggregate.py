@@ -1,0 +1,47 @@
+"""Grouping and summary statistics over run records."""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+from ..errors import AnalysisError
+from .records import RunRecord
+
+__all__ = ["Summary", "summarize", "group_by"]
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Five-number-ish summary of one metric over a record group."""
+
+    count: int
+    mean: float
+    std: float
+    min: float
+    max: float
+
+    def fmt(self, digits: int = 2) -> str:
+        return f"{self.mean:.{digits}f}±{self.std:.{digits}f}"
+
+
+def summarize(values: Iterable[float]) -> Summary:
+    """Summary statistics (population std) of a non-empty sequence."""
+    xs = [float(v) for v in values]
+    if not xs:
+        raise AnalysisError("cannot summarize an empty sequence")
+    n = len(xs)
+    mean = sum(xs) / n
+    var = sum((x - mean) ** 2 for x in xs) / n
+    return Summary(count=n, mean=mean, std=math.sqrt(var), min=min(xs), max=max(xs))
+
+
+def group_by(
+    records: Iterable[RunRecord], key: Callable[[RunRecord], object]
+) -> dict[object, list[RunRecord]]:
+    """Group records by an arbitrary key function, sorted by key repr."""
+    groups: dict[object, list[RunRecord]] = {}
+    for rec in records:
+        groups.setdefault(key(rec), []).append(rec)
+    return dict(sorted(groups.items(), key=lambda kv: repr(kv[0])))

@@ -1,0 +1,95 @@
+"""Least-squares complexity fits.
+
+Claims C2/C3 say messages ≈ a·(k−k*+1)·m and time ≈ a·(k−k*+1)·n. We fit
+``y = a·x`` (and optionally an intercept) over records and report a and
+R², so each bench table prints "measured constant" next to the claimed
+asymptotic form — the honest way to "reproduce" a theory paper's bound.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import AnalysisError
+from .records import RunRecord
+
+__all__ = ["Fit", "fit_proportional", "fit_affine", "fit_claim"]
+
+
+@dataclass(frozen=True)
+class Fit:
+    """Result of a least-squares fit."""
+
+    slope: float
+    intercept: float
+    r_squared: float
+    n_points: int
+
+    def fmt(self) -> str:
+        if self.intercept:
+            return (
+                f"y = {self.slope:.3f}·x + {self.intercept:.1f}"
+                f" (R²={self.r_squared:.3f}, n={self.n_points})"
+            )
+        return f"y = {self.slope:.3f}·x (R²={self.r_squared:.3f}, n={self.n_points})"
+
+
+def _r_squared(y: np.ndarray, y_hat: np.ndarray) -> float:
+    ss_res = float(((y - y_hat) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def fit_proportional(xs: Iterable[float], ys: Iterable[float]) -> Fit:
+    """Fit ``y = a·x`` through the origin."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size < 2:
+        raise AnalysisError("need at least 2 points to fit")
+    denom = float((x * x).sum())
+    if denom == 0.0:
+        raise AnalysisError("degenerate x values")
+    a = float((x * y).sum()) / denom
+    return Fit(slope=a, intercept=0.0, r_squared=_r_squared(y, a * x), n_points=x.size)
+
+
+def fit_affine(xs: Iterable[float], ys: Iterable[float]) -> Fit:
+    """Fit ``y = a·x + b``."""
+    x = np.asarray(list(xs), dtype=float)
+    y = np.asarray(list(ys), dtype=float)
+    if x.size < 2:
+        raise AnalysisError("need at least 2 points to fit")
+    coeffs = np.polyfit(x, y, 1)
+    y_hat = np.polyval(coeffs, x)
+    return Fit(
+        slope=float(coeffs[0]),
+        intercept=float(coeffs[1]),
+        r_squared=_r_squared(y, y_hat),
+        n_points=x.size,
+    )
+
+
+def fit_claim(
+    records: Iterable[RunRecord],
+    x_of: Callable[[RunRecord], float],
+    y_of: Callable[[RunRecord], float],
+    *,
+    through_origin: bool = True,
+) -> Fit:
+    """Fit a claim's predictor/measurement pair over records.
+
+    Example (claim C2)::
+
+        fit_claim(records,
+                  x_of=lambda r: (r.degree_drop + 1) * r.m,
+                  y_of=lambda r: r.messages)
+    """
+    recs = list(records)
+    xs = [x_of(r) for r in recs]
+    ys = [y_of(r) for r in recs]
+    return fit_proportional(xs, ys) if through_origin else fit_affine(xs, ys)

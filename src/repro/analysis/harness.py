@@ -1,0 +1,106 @@
+"""Sweep harness: run the protocol across (family × size × seed × config)
+grids and collect :class:`~repro.analysis.records.RunRecord` rows.
+
+This is the engine behind every benchmark table: a
+:class:`SweepSpec` fully determines its records (seeded, deterministic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+from ..graphs.generators import make_family
+from ..mdst.algorithm import run_mdst
+from ..mdst.config import MDSTConfig
+from ..sim.delays import delay_model_from_name
+from ..spanning.provider import build_spanning_tree
+from .records import RunRecord
+
+__all__ = ["SweepSpec", "run_single", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Cartesian sweep definition.
+
+    Attributes mirror the axes of the paper's claims: topology family and
+    size (n, m), initial-tree construction (the paper's startup phase),
+    protocol mode, delay model, and seeds for everything stochastic.
+    """
+
+    families: tuple[str, ...] = ("gnp_sparse",)
+    sizes: tuple[int, ...] = (16, 32)
+    seeds: tuple[int, ...] = (0, 1, 2)
+    initial_methods: tuple[str, ...] = ("echo",)
+    modes: tuple[str, ...] = ("concurrent",)
+    delays: tuple[str, ...] = ("unit",)
+    max_rounds: int | None = None
+
+    def __post_init__(self) -> None:
+        if not (self.families and self.sizes and self.seeds):
+            raise AnalysisError("sweep axes must be non-empty")
+
+
+def run_single(
+    family: str,
+    n: int,
+    seed: int,
+    *,
+    initial_method: str = "echo",
+    mode: str = "concurrent",
+    delay: str = "unit",
+    max_rounds: int | None = None,
+) -> RunRecord:
+    """Run one configuration and flatten it into a record."""
+    graph = make_family(family, n, seed=seed)
+    startup = build_spanning_tree(graph, method=initial_method, seed=seed)
+    result = run_mdst(
+        graph,
+        startup.tree,
+        config=MDSTConfig(mode=mode, max_rounds=max_rounds),
+        seed=seed,
+        delay=delay_model_from_name(delay),
+    )
+    return RunRecord(
+        family=family,
+        n=graph.n,
+        m=graph.m,
+        seed=seed,
+        initial_method=initial_method,
+        mode=mode,
+        delay=delay,
+        k_initial=result.initial_degree,
+        k_final=result.final_degree,
+        rounds=result.num_rounds,
+        messages=result.messages,
+        causal_time=result.causal_time,
+        bits=result.report.total_bits,
+        max_msg_fields=result.report.max_id_fields,
+        startup_messages=(
+            startup.report.total_messages if startup.report is not None else 0
+        ),
+    )
+
+
+def run_sweep(spec: SweepSpec) -> list[RunRecord]:
+    """Run the full cartesian sweep (deterministic given the spec)."""
+    records = []
+    for family in spec.families:
+        for n in spec.sizes:
+            for method in spec.initial_methods:
+                for mode in spec.modes:
+                    for delay in spec.delays:
+                        for seed in spec.seeds:
+                            records.append(
+                                run_single(
+                                    family,
+                                    n,
+                                    seed,
+                                    initial_method=method,
+                                    mode=mode,
+                                    delay=delay,
+                                    max_rounds=spec.max_rounds,
+                                )
+                            )
+    return records

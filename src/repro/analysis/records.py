@@ -1,0 +1,76 @@
+"""Experiment run records: flat, JSON-serializable, regenerable.
+
+A :class:`RunRecord` captures everything a table row needs. Records are
+pure functions of ``(spec, seed)`` — re-running a sweep with the same
+parameters reproduces them bit-for-bit (simulator determinism).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+__all__ = ["RunRecord", "save_records", "load_records"]
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One protocol run, flattened for analysis."""
+
+    family: str
+    n: int
+    m: int
+    seed: int
+    initial_method: str
+    mode: str
+    delay: str
+    k_initial: int
+    k_final: int
+    rounds: int
+    messages: int
+    causal_time: int
+    bits: int
+    max_msg_fields: int
+    startup_messages: int = 0
+    extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def degree_drop(self) -> int:
+        return self.k_initial - self.k_final
+
+    @property
+    def messages_normalized(self) -> float:
+        """Messages divided by (k − k* + 1)·m — claim C2's constant."""
+        return self.messages / ((self.degree_drop + 1) * max(self.m, 1))
+
+    @property
+    def time_normalized(self) -> float:
+        """Causal time divided by (k − k* + 1)·n — claim C3's constant."""
+        return self.causal_time / ((self.degree_drop + 1) * max(self.n, 1))
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, Any]) -> "RunRecord":
+        return cls(**data)
+
+
+def save_records(records: list[RunRecord], path: str | Path) -> None:
+    """Write records as JSON lines."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec.to_json_dict()) + "\n")
+
+
+def load_records(path: str | Path) -> list[RunRecord]:
+    """Read records from JSON lines."""
+    out = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                out.append(RunRecord.from_json_dict(json.loads(line)))
+    return out

@@ -1,0 +1,86 @@
+"""Paper-style ASCII table rendering for benchmark output."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_table", "Table"]
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    Numbers are right-aligned, text left-aligned; floats are shown with 3
+    significant decimals unless already strings.
+    """
+    def fmt(cell: object) -> str:
+        if isinstance(cell, bool):
+            return "yes" if cell else "no"
+        if isinstance(cell, float):
+            return f"{cell:.3f}"
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    cols = len(headers)
+    for row in str_rows:
+        if len(row) != cols:
+            raise ValueError(f"row width {len(row)} != header width {cols}")
+    widths = [
+        max(len(headers[j]), *(len(r[j]) for r in str_rows)) if str_rows else len(headers[j])
+        for j in range(cols)
+    ]
+    numeric = [
+        all(_is_numeric(r[j]) for r in str_rows) if str_rows else False
+        for j in range(cols)
+    ]
+
+    def line(cells: Sequence[str]) -> str:
+        parts = []
+        for j, cell in enumerate(cells):
+            parts.append(cell.rjust(widths[j]) if numeric[j] else cell.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    sep = "-" * (sum(widths) + 2 * (cols - 1))
+    out = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(sep)
+    out.extend(line(r) for r in str_rows)
+    return "\n".join(out)
+
+
+def _is_numeric(s: str) -> bool:
+    try:
+        float(s)
+        return True
+    except ValueError:
+        return False
+
+
+class Table:
+    """Incremental table builder used by the benchmark harness."""
+
+    def __init__(self, headers: Sequence[str], title: str | None = None) -> None:
+        self.headers = list(headers)
+        self.title = title
+        self.rows: list[list[object]] = []
+
+    def add(self, *cells: object) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"expected {len(self.headers)} cells, got {len(cells)}"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        return render_table(self.headers, self.rows, title=self.title)
+
+    def print(self) -> None:  # pragma: no cover - console sugar
+        print("\n" + self.render() + "\n")

@@ -1,0 +1,168 @@
+"""Command-line interface: ``python -m repro`` / ``repro-mdst``.
+
+Subcommands
+-----------
+``run``       one protocol run with a summary and optional tree rendering
+``sweep``     a small sweep printed as a paper-style table
+``exact``     ground-truth Δ* for a small instance
+``families``  list available workload families
+``certify``   run + certification against the paper's claims
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis.harness import SweepSpec, run_single, run_sweep
+from .analysis.tables import Table
+from .graphs.generators import FAMILIES, make_family
+from .mdst.algorithm import run_mdst
+from .mdst.config import MDSTConfig
+from .sequential.exact import optimal_degree
+from .sim.delays import delay_model_from_name
+from .spanning.provider import (
+    CENTRALIZED_METHODS,
+    DISTRIBUTED_METHODS,
+    build_spanning_tree,
+)
+from .verify.certification import certify_run
+from .viz.ascii_tree import render_degree_histogram, render_tree
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mdst",
+        description=(
+            "Distributed approximated Minimum Degree Spanning Tree "
+            "(Blin & Butelle 2003) — reproduction toolkit"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run the protocol once")
+    _common_axes(run_p)
+    run_p.add_argument("--show-tree", action="store_true", help="render the final tree")
+
+    sweep_p = sub.add_parser("sweep", help="run a sweep and print a table")
+    sweep_p.add_argument("--families", nargs="+", default=["gnp_sparse"])
+    sweep_p.add_argument("--sizes", nargs="+", type=int, default=[16, 32])
+    sweep_p.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2])
+    sweep_p.add_argument("--initial", default="echo")
+    sweep_p.add_argument("--mode", default="concurrent", choices=["concurrent", "single"])
+
+    exact_p = sub.add_parser("exact", help="ground-truth optimal degree (small n)")
+    exact_p.add_argument("--family", default="gnp_sparse")
+    exact_p.add_argument("--n", type=int, default=10)
+    exact_p.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("families", help="list workload families")
+
+    cert_p = sub.add_parser("certify", help="run + certify against the claims")
+    _common_axes(cert_p)
+
+    exp_p = sub.add_parser(
+        "experiment", help="regenerate a paper experiment table (t1..t8)"
+    )
+    exp_p.add_argument("name", help="experiment id, e.g. t1")
+    exp_p.add_argument("--scale", type=int, default=1, help="size multiplier")
+    return parser
+
+
+def _common_axes(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--family", default="gnp_sparse", help="workload family")
+    p.add_argument("--n", type=int, default=24, help="approximate node count")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--initial",
+        default="echo",
+        choices=list(DISTRIBUTED_METHODS + CENTRALIZED_METHODS),
+        help="startup spanning-tree construction",
+    )
+    p.add_argument("--mode", default="concurrent", choices=["concurrent", "single"])
+    p.add_argument(
+        "--delay",
+        default="unit",
+        choices=["unit", "uniform", "exponential", "perlink"],
+    )
+
+
+def _run_once(args: argparse.Namespace):
+    graph = make_family(args.family, args.n, seed=args.seed)
+    startup = build_spanning_tree(graph, method=args.initial, seed=args.seed)
+    result = run_mdst(
+        graph,
+        startup.tree,
+        config=MDSTConfig(mode=args.mode),
+        seed=args.seed,
+        delay=delay_model_from_name(args.delay),
+    )
+    return result
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "families":
+        for name in sorted(FAMILIES):
+            print(name)
+        return 0
+
+    if args.command == "exact":
+        graph = make_family(args.family, args.n, seed=args.seed)
+        d = optimal_degree(graph)
+        print(f"{args.family} n={graph.n} m={graph.m}: optimal degree = {d}")
+        return 0
+
+    if args.command == "run":
+        result = _run_once(args)
+        print(result.summary())
+        if args.show_tree:
+            print()
+            print(render_tree(result.final_tree, max_depth=6))
+            print()
+            print(render_degree_histogram(result.final_tree))
+        return 0
+
+    if args.command == "certify":
+        result = _run_once(args)
+        print(result.summary())
+        print()
+        print(certify_run(result).summary())
+        return 0
+
+    if args.command == "experiment":
+        from .analysis.experiments import run_experiment
+
+        text, _payload = run_experiment(args.name, scale=args.scale)
+        print(text)
+        return 0
+
+    if args.command == "sweep":
+        spec = SweepSpec(
+            families=tuple(args.families),
+            sizes=tuple(args.sizes),
+            seeds=tuple(args.seeds),
+            initial_methods=(args.initial,),
+            modes=(args.mode,),
+        )
+        records = run_sweep(spec)
+        table = Table(
+            ["family", "n", "m", "seed", "k0", "k*", "rounds", "msgs", "time"],
+            title="MDegST sweep",
+        )
+        for r in records:
+            table.add(
+                r.family, r.n, r.m, r.seed, r.k_initial, r.k_final,
+                r.rounds, r.messages, r.causal_time,
+            )
+        print(table.render())
+        return 0
+
+    return 1  # pragma: no cover - argparse enforces commands
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

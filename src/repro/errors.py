@@ -1,0 +1,56 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+downstream users can catch one type. Sub-hierarchies mirror the package
+layout (graphs / simulator / protocols / analysis).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all library errors."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or query (unknown node, self-loop, ...)."""
+
+
+class NotConnectedError(GraphError):
+    """An operation required a connected graph but got a disconnected one."""
+
+
+class NotATreeError(GraphError):
+    """A structure claimed to be a (spanning) tree fails validation."""
+
+
+class SimulationError(ReproError):
+    """Simulator misuse or internal inconsistency."""
+
+
+class ChannelError(SimulationError):
+    """Message sent on a non-existent link or to an unknown neighbor."""
+
+
+class SchedulingError(SimulationError):
+    """Event queue misuse (negative delay, event in the past, ...)."""
+
+
+class ProtocolError(ReproError):
+    """A distributed protocol reached a state that violates its invariants."""
+
+
+class TerminationError(ProtocolError):
+    """A protocol failed to terminate (hit the step/eventcount safety cap)."""
+
+
+class VerificationError(ReproError):
+    """A post-hoc verification (spanning tree, local optimality) failed."""
+
+
+class AnalysisError(ReproError):
+    """Experiment harness misuse (bad sweep spec, empty record set, ...)."""
+
+
+class SolverError(ReproError):
+    """Exact solver infeasibility or size-limit violations."""

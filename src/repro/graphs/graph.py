@@ -1,0 +1,222 @@
+"""Undirected simple graph with named (integer) nodes.
+
+The paper's model is a named asynchronous network: nodes carry distinct
+identities and only know their own adjacency. This module provides the
+static topology object shared by generators, the simulator and the
+sequential baselines. It is deliberately small, dependency-free and
+O(1)-ish for the operations the simulator does per event (neighbor
+lookups, degree queries).
+
+Edges are canonicalised as ``(min(u, v), max(u, v))`` tuples throughout the
+library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from ..errors import GraphError
+
+__all__ = ["Edge", "canonical_edge", "Graph"]
+
+Edge = tuple[int, int]
+
+
+def canonical_edge(u: int, v: int) -> Edge:
+    """Return the canonical ``(lo, hi)`` form of the undirected edge."""
+    if u == v:
+        raise GraphError(f"self-loop on node {u} is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+class Graph:
+    """An undirected simple graph over integer node identities.
+
+    Parameters
+    ----------
+    nodes:
+        Iterable of distinct node identities.
+    edges:
+        Iterable of ``(u, v)`` pairs; order within a pair is irrelevant,
+        duplicates are rejected.
+
+    Notes
+    -----
+    Node identities may be arbitrary non-negative integers (they need not
+    be contiguous): the paper only requires *distinct* identities, and the
+    minimum-identity tie-breaking in the protocol is exercised better by
+    non-contiguous ids in tests.
+    """
+
+    __slots__ = ("_adj", "_edges", "_weights")
+
+    def __init__(
+        self,
+        nodes: Iterable[int] = (),
+        edges: Iterable[tuple[int, int]] = (),
+        weights: dict[Edge, float] | None = None,
+    ) -> None:
+        self._adj: dict[int, set[int]] = {}
+        self._edges: set[Edge] = set()
+        self._weights: dict[Edge, float] = {}
+        for node in nodes:
+            self.add_node(node)
+        for u, v in edges:
+            self.add_edge(u, v)
+        if weights:
+            for e, w in weights.items():
+                self.set_weight(*e, w)
+
+    # -- construction -------------------------------------------------
+
+    def add_node(self, node: int) -> None:
+        """Add an isolated node (idempotent)."""
+        if not isinstance(node, int) or isinstance(node, bool):
+            raise GraphError(f"node identity must be an int, got {node!r}")
+        if node < 0:
+            raise GraphError(f"node identity must be non-negative, got {node}")
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add edge ``{u, v}``, creating endpoints as needed."""
+        e = canonical_edge(u, v)
+        if e in self._edges:
+            raise GraphError(f"duplicate edge {e}")
+        self.add_node(u)
+        self.add_node(v)
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._edges.add(e)
+
+    def remove_edge(self, u: int, v: int) -> None:
+        """Remove edge ``{u, v}``; raises if absent."""
+        e = canonical_edge(u, v)
+        if e not in self._edges:
+            raise GraphError(f"no such edge {e}")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._edges.discard(e)
+        self._weights.pop(e, None)
+
+    def set_weight(self, u: int, v: int, w: float) -> None:
+        """Attach weight *w* to an existing edge (used by GHS)."""
+        e = canonical_edge(u, v)
+        if e not in self._edges:
+            raise GraphError(f"no such edge {e}")
+        self._weights[e] = float(w)
+
+    # -- queries -------------------------------------------------------
+
+    def weight(self, u: int, v: int, default: float = 1.0) -> float:
+        """Weight of edge ``{u, v}`` (default 1.0 when unweighted)."""
+        return self._weights.get(canonical_edge(u, v), default)
+
+    @property
+    def n(self) -> int:
+        """Number of nodes ``|V|``."""
+        return len(self._adj)
+
+    @property
+    def m(self) -> int:
+        """Number of edges ``|E|``."""
+        return len(self._edges)
+
+    def nodes(self) -> list[int]:
+        """Sorted list of node identities."""
+        return sorted(self._adj)
+
+    def edges(self) -> list[Edge]:
+        """Sorted list of canonical edges."""
+        return sorted(self._edges)
+
+    def has_node(self, node: int) -> bool:
+        return node in self._adj
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return canonical_edge(u, v) in self._edges
+
+    def neighbors(self, node: int) -> set[int]:
+        """Set of neighbors of *node* (a copy is NOT made; don't mutate)."""
+        try:
+            return self._adj[node]
+        except KeyError:
+            raise GraphError(f"unknown node {node}") from None
+
+    def degree(self, node: int) -> int:
+        """Degree of *node* in the graph."""
+        return len(self.neighbors(node))
+
+    def max_degree(self) -> int:
+        """Maximum degree over all nodes (the *degree of the graph*)."""
+        if not self._adj:
+            raise GraphError("max_degree of empty graph")
+        return max(len(s) for s in self._adj.values())
+
+    def degree_histogram(self) -> dict[int, int]:
+        """Map ``degree -> number of nodes of that degree``."""
+        hist: dict[int, int] = {}
+        for s in self._adj.values():
+            hist[len(s)] = hist.get(len(s), 0) + 1
+        return dict(sorted(hist.items()))
+
+    # -- dunder --------------------------------------------------------
+
+    def __contains__(self, node: int) -> bool:
+        return node in self._adj
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(sorted(self._adj))
+
+    def __len__(self) -> int:
+        return len(self._adj)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return self._adj.keys() == other._adj.keys() and self._edges == other._edges
+
+    def __hash__(self) -> int:  # graphs are mutable; identity hash
+        return id(self)
+
+    def __repr__(self) -> str:
+        return f"Graph(n={self.n}, m={self.m})"
+
+    def copy(self) -> "Graph":
+        """Deep copy of topology and weights."""
+        g = Graph()
+        for node in self._adj:
+            g.add_node(node)
+        for u, v in self._edges:
+            g.add_edge(u, v)
+        g._weights.update(self._weights)
+        return g
+
+    def subgraph(self, keep: Iterable[int]) -> "Graph":
+        """Induced subgraph on the node set *keep*."""
+        keep_set = set(keep)
+        unknown = keep_set - self._adj.keys()
+        if unknown:
+            raise GraphError(f"unknown nodes {sorted(unknown)}")
+        g = Graph(nodes=keep_set)
+        for u, v in self._edges:
+            if u in keep_set and v in keep_set:
+                g.add_edge(u, v)
+                if (u, v) in self._weights:
+                    g.set_weight(u, v, self._weights[(u, v)])
+        return g
+
+    def relabeled(self, mapping: dict[int, int]) -> "Graph":
+        """Return a copy with node identities renamed through *mapping*.
+
+        Every node must appear in *mapping* and images must be distinct.
+        """
+        if set(mapping) != set(self._adj):
+            raise GraphError("mapping must cover exactly the node set")
+        if len(set(mapping.values())) != len(mapping):
+            raise GraphError("mapping images must be distinct")
+        g = Graph(nodes=mapping.values())
+        for u, v in self._edges:
+            g.add_edge(mapping[u], mapping[v])
+            if (u, v) in self._weights:
+                g.set_weight(mapping[u], mapping[v], self._weights[(u, v)])
+        return g

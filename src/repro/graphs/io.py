@@ -1,0 +1,114 @@
+"""Graph serialization: a simple edge-list text format and DIMACS-like IO.
+
+Format (``.edges``)::
+
+    # comment
+    n <num_nodes>
+    <u> <v> [weight]
+
+Nodes without edges are declared with ``v <id>`` lines. DIMACS flavor uses
+``p edge N M`` / ``e u v`` lines (1-based, converted to 0-based).
+"""
+
+from __future__ import annotations
+
+import io as _io
+from pathlib import Path
+
+from ..errors import GraphError
+from .graph import Graph
+
+__all__ = ["dumps", "loads", "save", "load", "loads_dimacs", "dumps_dimacs"]
+
+
+def dumps(graph: Graph) -> str:
+    """Serialize *graph* to the edge-list text format."""
+    buf = _io.StringIO()
+    buf.write(f"# repro graph n={graph.n} m={graph.m}\n")
+    edge_nodes = set()
+    for u, v in graph.edges():
+        edge_nodes.add(u)
+        edge_nodes.add(v)
+    for node in graph.nodes():
+        if node not in edge_nodes:
+            buf.write(f"v {node}\n")
+    for u, v in graph.edges():
+        w = graph.weight(u, v)
+        if w != 1.0:
+            buf.write(f"{u} {v} {w!r}\n")
+        else:
+            buf.write(f"{u} {v}\n")
+    return buf.getvalue()
+
+
+def loads(text: str) -> Graph:
+    """Parse the edge-list text format."""
+    g = Graph()
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        try:
+            if parts[0] == "v":
+                g.add_node(int(parts[1]))
+            elif parts[0] == "n":
+                continue  # informational
+            else:
+                u, v = int(parts[0]), int(parts[1])
+                g.add_edge(u, v)
+                if len(parts) >= 3:
+                    g.set_weight(u, v, float(parts[2]))
+        except (ValueError, IndexError) as exc:
+            raise GraphError(f"parse error at line {lineno}: {raw!r}") from exc
+    return g
+
+
+def save(graph: Graph, path: str | Path) -> None:
+    Path(path).write_text(dumps(graph), encoding="utf-8")
+
+
+def load(path: str | Path) -> Graph:
+    return loads(Path(path).read_text(encoding="utf-8"))
+
+
+def dumps_dimacs(graph: Graph) -> str:
+    """Serialize to DIMACS ``p edge`` format (1-based node ids; requires
+    contiguous ids 0..n-1)."""
+    nodes = graph.nodes()
+    if nodes != list(range(graph.n)):
+        raise GraphError("DIMACS export requires contiguous ids 0..n-1")
+    lines = [f"p edge {graph.n} {graph.m}"]
+    for u, v in graph.edges():
+        lines.append(f"e {u + 1} {v + 1}")
+    return "\n".join(lines) + "\n"
+
+
+def loads_dimacs(text: str) -> Graph:
+    """Parse DIMACS ``p edge`` format."""
+    g = Graph()
+    declared_n = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c"):
+            continue
+        parts = line.split()
+        if parts[0] == "p":
+            if len(parts) < 4 or parts[1] not in ("edge", "edges"):
+                raise GraphError(f"bad DIMACS problem line {lineno}: {raw!r}")
+            try:
+                declared_n = int(parts[2])
+            except ValueError as exc:
+                raise GraphError(f"bad DIMACS problem line {lineno}: {raw!r}") from exc
+            for i in range(declared_n):
+                g.add_node(i)
+        elif parts[0] == "e":
+            try:
+                g.add_edge(int(parts[1]) - 1, int(parts[2]) - 1)
+            except (ValueError, IndexError) as exc:
+                raise GraphError(f"bad DIMACS edge line {lineno}: {raw!r}") from exc
+        else:
+            raise GraphError(f"unknown DIMACS line {lineno}: {raw!r}")
+    if declared_n is not None and g.n != declared_n:
+        raise GraphError(f"DIMACS declared {declared_n} nodes but found {g.n}")
+    return g

@@ -1,0 +1,171 @@
+"""Structural graph properties used by verification and the exact solver.
+
+Includes cut-vertex detection (articulation points give a cheap lower
+bound on the achievable spanning-tree degree) and small-n Hamiltonian-path
+testing (Δ* = 2 iff a Hamiltonian path exists).
+"""
+
+from __future__ import annotations
+
+from ..errors import GraphError, NotConnectedError
+from .graph import Graph
+from .traversal import is_connected
+
+__all__ = [
+    "articulation_points",
+    "has_hamiltonian_path",
+    "min_degree_lower_bound",
+    "bridges",
+]
+
+
+def articulation_points(graph: Graph) -> set[int]:
+    """Articulation points (cut vertices) via iterative Tarjan lowlink."""
+    disc: dict[int, int] = {}
+    low: dict[int, int] = {}
+    parent: dict[int, int | None] = {}
+    points: set[int] = set()
+    timer = 0
+    for start in graph.nodes():
+        if start in disc:
+            continue
+        parent[start] = None
+        stack: list[tuple[int, iter]] = [(start, iter(sorted(graph.neighbors(start))))]  # type: ignore[type-arg]
+        disc[start] = low[start] = timer
+        timer += 1
+        root_children = 0
+        while stack:
+            u, it = stack[-1]
+            advanced = False
+            for v in it:
+                if v not in disc:
+                    parent[v] = u
+                    disc[v] = low[v] = timer
+                    timer += 1
+                    if u == start:
+                        root_children += 1
+                    stack.append((v, iter(sorted(graph.neighbors(v)))))
+                    advanced = True
+                    break
+                elif v != parent[u]:
+                    low[u] = min(low[u], disc[v])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    low[p] = min(low[p], low[u])
+                    if parent[u] == p and p != start and low[u] >= disc[p]:
+                        points.add(p)
+        if root_children >= 2:
+            points.add(start)
+    return points
+
+
+def bridges(graph: Graph) -> set[tuple[int, int]]:
+    """Bridge edges (canonical form) via the same lowlink computation."""
+    disc: dict[int, int] = {}
+    low: dict[int, int] = {}
+    parent: dict[int, int | None] = {}
+    out: set[tuple[int, int]] = set()
+    timer = 0
+    for start in graph.nodes():
+        if start in disc:
+            continue
+        parent[start] = None
+        disc[start] = low[start] = timer
+        timer += 1
+        stack = [(start, iter(sorted(graph.neighbors(start))))]
+        while stack:
+            u, it = stack[-1]
+            advanced = False
+            for v in it:
+                if v not in disc:
+                    parent[v] = u
+                    disc[v] = low[v] = timer
+                    timer += 1
+                    stack.append((v, iter(sorted(graph.neighbors(v)))))
+                    advanced = True
+                    break
+                elif v != parent[u]:
+                    low[u] = min(low[u], disc[v])
+            if not advanced:
+                stack.pop()
+                if stack:
+                    p = stack[-1][0]
+                    low[p] = min(low[p], low[u])
+                    if low[u] > disc[p]:
+                        out.add((min(p, u), max(p, u)))
+    return out
+
+
+def has_hamiltonian_path(graph: Graph, node_limit: int = 20) -> bool:
+    """Exact Hamiltonian-path test (Held–Karp bitmask DP, O(2^n · n^2)).
+
+    Refuses graphs above *node_limit* nodes — use
+    :mod:`repro.sequential.exact` heuristics beyond that.
+    """
+    n = graph.n
+    if n > node_limit:
+        raise GraphError(f"has_hamiltonian_path limited to {node_limit} nodes, got {n}")
+    if n == 0:
+        return False
+    if n == 1:
+        return True
+    if not is_connected(graph):
+        return False
+    nodes = graph.nodes()
+    index = {u: i for i, u in enumerate(nodes)}
+    adj_mask = [0] * n
+    for u in nodes:
+        for v in graph.neighbors(u):
+            adj_mask[index[u]] |= 1 << index[v]
+    full = (1 << n) - 1
+    # reach[mask] = bitmask of possible end vertices of a path visiting mask
+    reach = [0] * (1 << n)
+    for i in range(n):
+        reach[1 << i] = 1 << i
+    for mask in range(1, full + 1):
+        ends = reach[mask]
+        if not ends:
+            continue
+        if mask == full:
+            return True
+        rest = full & ~mask
+        e = ends
+        while e:
+            i = (e & -e).bit_length() - 1
+            e &= e - 1
+            nxt = adj_mask[i] & rest
+            w = nxt
+            while w:
+                j = (w & -w).bit_length() - 1
+                w &= w - 1
+                reach[mask | (1 << j)] |= 1 << j
+    return bool(reach[full])
+
+
+def min_degree_lower_bound(graph: Graph) -> int:
+    """A cheap lower bound on Δ* (the optimal spanning-tree degree).
+
+    * every spanning tree of a connected graph with n >= 3 has a node of
+      degree >= 2, and Δ* >= ⌈(n−1)/ (n−1)⌉ = 1 trivially;
+    * forced-degree bound: a node v whose removal splits the graph into c
+      components must have tree degree >= c, so Δ* >= max_v c(v). We
+      compute c(v) for articulation points only (others give c = 1).
+    """
+    if graph.n == 0:
+        raise GraphError("empty graph")
+    if not is_connected(graph):
+        raise NotConnectedError("lower bound defined for connected graphs")
+    if graph.n == 1:
+        return 0
+    if graph.n == 2:
+        return 1
+    bound = 2 if graph.n >= 3 else 1
+    from .traversal import connected_components
+
+    for v in articulation_points(graph):
+        rest = graph.subgraph([u for u in graph.nodes() if u != v])
+        c = len(connected_components(rest))
+        bound = max(bound, c)
+    return bound

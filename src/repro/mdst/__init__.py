@@ -1,0 +1,43 @@
+"""The paper's contribution: the distributed MDegST protocol."""
+
+from .algorithm import run_mdst
+from .config import MDSTConfig
+from .messages import (
+    BfsWave,
+    ChildMsg,
+    CousinReply,
+    Cut,
+    DegreeReport,
+    ExchangeDone,
+    FlipBack,
+    ImproveReport,
+    MoveRoot,
+    Search,
+    Terminate,
+    Update,
+    WaveEcho,
+)
+from .node import MDSTProcess, make_mdst_factory
+from .result import MDSTResult, RoundInfo
+
+__all__ = [
+    "run_mdst",
+    "MDSTConfig",
+    "MDSTResult",
+    "RoundInfo",
+    "MDSTProcess",
+    "make_mdst_factory",
+    "Search",
+    "DegreeReport",
+    "MoveRoot",
+    "Cut",
+    "BfsWave",
+    "CousinReply",
+    "WaveEcho",
+    "Update",
+    "ChildMsg",
+    "FlipBack",
+    "ExchangeDone",
+    "ImproveReport",
+    "Terminate",
+]

@@ -1,0 +1,182 @@
+"""Top-level runner: wire a graph + initial tree into the simulator, run
+the MDegST protocol to termination, extract and certify the result."""
+
+from __future__ import annotations
+
+from ..errors import NotConnectedError, ProtocolError, ReproError
+from ..graphs.graph import Graph
+from ..graphs.traversal import is_connected
+from ..graphs.trees import RootedTree
+from ..sim.delays import DelayModel
+from ..sim.metrics import SimulationReport
+from ..sim.monitors import parent_pointers_form_forest
+from ..sim.network import Network
+from ..sim.trace import TraceRecorder
+from ..spanning.provider import build_spanning_tree
+from .config import MDSTConfig
+from .node import MDSTProcess, make_mdst_factory
+from .result import MDSTResult, RoundInfo
+
+__all__ = ["run_mdst"]
+
+
+def run_mdst(
+    graph: Graph,
+    initial_tree: RootedTree | None = None,
+    *,
+    initial_method: str = "echo",
+    config: MDSTConfig | None = None,
+    seed: int = 0,
+    delay: DelayModel | None = None,
+    trace: TraceRecorder | None = None,
+    check_invariants: bool = False,
+    max_events: int = 5_000_000,
+) -> MDSTResult:
+    """Run the distributed MDegST algorithm of Blin & Butelle on *graph*.
+
+    Parameters
+    ----------
+    initial_tree:
+        The startup spanning tree (§3.1). When ``None`` it is built with
+        :func:`repro.spanning.build_spanning_tree` using
+        *initial_method* (its construction cost is **not** included in
+        the returned report, matching the paper's accounting).
+    config:
+        Protocol options (:class:`MDSTConfig`); defaults to the faithful
+        concurrent mode with single-target polish.
+    seed / delay:
+        Delay-model seeding; the default is the paper's unit-delay
+        analysis assumption.
+    check_invariants:
+        Attach the parent-forest monitor (every instant of the run must
+        exhibit acyclic parent pointers). Slows big runs; used by tests.
+
+    Returns
+    -------
+    MDSTResult
+        Final tree + per-round log + simulation metrics, already
+        certified: the output is a spanning tree of *graph* whose degree
+        never exceeds the initial tree's.
+    """
+    if graph.n == 0:
+        raise ReproError("empty graph")
+    if not is_connected(graph):
+        raise NotConnectedError("MDegST requires a connected network")
+    cfg = config or MDSTConfig()
+    if initial_tree is None:
+        initial_tree = build_spanning_tree(
+            graph, method=initial_method, seed=seed
+        ).tree
+    if not initial_tree.is_spanning_tree_of(graph):
+        raise ReproError("initial_tree is not a spanning tree of graph")
+
+    if graph.n <= 2:
+        # nothing to optimize: a single node or a single edge
+        report = SimulationReport(
+            events_processed=0,
+            quiescent=True,
+            total_messages=0,
+            total_bits=0,
+            by_type={},
+            max_id_fields=0,
+            causal_time=0,
+            sim_time=0.0,
+            marks=(),
+        )
+        return MDSTResult(
+            graph=graph,
+            initial_tree=initial_tree,
+            final_tree=initial_tree,
+            rounds=(),
+            report=report,
+        )
+
+    factory = make_mdst_factory(initial_tree.parent_map(), cfg)
+    monitors = [parent_pointers_form_forest()] if check_invariants else []
+    net = Network(
+        graph,
+        factory,
+        delay=delay,
+        seed=seed,
+        trace=trace,
+        monitors=monitors,
+    )
+    report = net.run(max_events=max_events)
+    final_tree = _extract_final_tree(net, graph)
+    rounds = _rounds_from_marks(report)
+
+    if final_tree.max_degree() > initial_tree.max_degree():
+        raise ProtocolError(
+            "final degree exceeds initial degree "
+            f"({final_tree.max_degree()} > {initial_tree.max_degree()})"
+        )
+    return MDSTResult(
+        graph=graph,
+        initial_tree=initial_tree,
+        final_tree=final_tree,
+        rounds=rounds,
+        report=report,
+    )
+
+
+def _extract_final_tree(net: Network, graph: Graph) -> RootedTree:
+    parents: dict[int, int | None] = {}
+    roots = []
+    for u, proc in net.processes.items():
+        assert isinstance(proc, MDSTProcess)
+        if not proc.terminated:
+            raise ProtocolError(f"node {u} never terminated")
+        parents[u] = proc.parent
+        if proc.parent is None:
+            roots.append(u)
+        elif not graph.has_edge(u, proc.parent):
+            raise ProtocolError(f"node {u} has non-edge parent {proc.parent}")
+    if len(roots) != 1:
+        raise ProtocolError(f"expected one root, got {roots}")
+    tree = RootedTree(roots[0], parents)
+    if tree.n != graph.n:
+        raise ProtocolError("final tree does not span the graph")
+    # parent/children views must agree
+    for u, proc in net.processes.items():
+        if set(proc.children) != tree.children(u):
+            raise ProtocolError(
+                f"node {u}: children view {sorted(proc.children)} != "
+                f"{sorted(tree.children(u))}"
+            )
+    return tree
+
+
+def _rounds_from_marks(report: SimulationReport) -> tuple[RoundInfo, ...]:
+    """Pair the root's round / round_end marks into RoundInfo entries.
+
+    Per-round message counts come from the ``_messages_so_far`` stamps the
+    metrics layer adds to dict-valued marks: a round's cost is the counter
+    delta between consecutive round-start marks (the tail round extends to
+    the end of the run).
+    """
+    starts: list[dict] = []
+    ends: dict[int, int] = {}
+    for _t, label, value in report.marks:
+        if label == "round":
+            starts.append(dict(value))  # type: ignore[arg-type]
+        elif label == "round_end":
+            info = dict(value)  # type: ignore[arg-type]
+            ends[info["index"]] = info["improved"]
+    out = []
+    for i, s in enumerate(starts):
+        begin = s.get("_messages_so_far", 0)
+        if i + 1 < len(starts):
+            end = starts[i + 1].get("_messages_so_far", begin)
+        else:
+            end = report.total_messages
+        out.append(
+            RoundInfo(
+                index=s["index"],
+                k=s["k"],
+                mode=s["mode"],
+                cutters=s["cutters"],
+                improved=ends.get(s["index"], 0),
+                messages=max(0, end - begin),
+            )
+        )
+    return tuple(out)

@@ -1,0 +1,666 @@
+"""Per-node state machine of the distributed MDegST protocol (§3 of the
+paper, with the repairs of DESIGN.md §4).
+
+Round structure (driven by the current root):
+
+1. **SearchDegree** — ``Search`` broadcast down the tree; ``DegreeReport``
+   convergecast computes (max degree k, minimum-identity holder), the
+   holder count (concurrent-mode barrier) and the same aggregate over
+   non-stuck nodes (single-mode target selection). Each node records
+   *via* pointers (which child reported the winning aggregate).
+2. **MoveRoot** — the root walks to the target max-degree node along via
+   pointers, reversing the path (the paper's path-reversal technique).
+3. **Cut + BFS** — the new root (and, in concurrent mode, every
+   max-degree node discovered by the waves) virtually cuts its children;
+   each cut child floods its fragment with ``BfsWave`` carrying the
+   fragment identity (cutter, cut-child). Replies across non-tree edges
+   (``CousinReply``) flow from the larger fragment identity to the
+   smaller and carry the replier's degree; candidates — outgoing edges
+   with both endpoint degrees ≤ k−2 joining two *different fragments of
+   the same cutter* — aggregate up with ``WaveEcho`` to the cutter.
+4. **Choose + exchange** — the cutter picks the candidate minimizing
+   (max endpoint degree, ids); ``Update`` travels the recorded via chain
+   to the local endpoint, which attaches under the remote endpoint
+   (``ChildMsg``); ``FlipBack`` re-roots the fragment one hop at a time
+   back to the old fragment root, which reports ``ExchangeDone`` to the
+   cutter. The cutter's degree drops by one.
+5. **Barrier** — every cutter sends ``ImproveReport`` up to the root;
+   when all are in, the root starts the next round (``reset`` clearing
+   stuck flags after any improvement) or terminates (all stuck or
+   k ≤ 2), broadcasting ``Terminate``.
+
+Invariants maintained at *every* instant (checked by monitors in tests):
+parent pointers form a tree spanning all nodes; the tree's maximum degree
+never increases; every tree edge is a graph edge.
+"""
+
+from __future__ import annotations
+
+from ..errors import ProtocolError
+from ..sim.messages import Message
+from ..sim.node import NodeContext, Process
+from .config import MDSTConfig
+from .messages import (
+    BfsWave,
+    ChildAck,
+    ChildMsg,
+    CousinReply,
+    Cut,
+    DegreeReport,
+    ExchangeDone,
+    FlipBack,
+    ImproveReport,
+    MoveRoot,
+    MoveRootAck,
+    Search,
+    Terminate,
+    Update,
+    WaveEcho,
+)
+
+__all__ = ["MDSTProcess", "make_mdst_factory"]
+
+FragId = tuple[int, int]
+#: aggregate = (degree, node-id); "better" = higher degree, then lower id
+Agg = tuple[int, int]
+
+
+def _better(a: Agg | None, b: Agg | None) -> bool:
+    """True iff aggregate *a* beats *b* (higher degree, then lower id)."""
+    if a is None:
+        return False
+    if b is None:
+        return True
+    return (a[0], -a[1]) > (b[0], -b[1])
+
+
+class MDSTProcess(Process):
+    """One network node running the MDegST protocol."""
+
+    def __init__(
+        self,
+        ctx: NodeContext,
+        parent: int | None,
+        children: set[int],
+        config: MDSTConfig,
+    ) -> None:
+        super().__init__(ctx)
+        # -- tree view (mutates across rounds) --
+        self.parent = parent
+        self.children = set(children)
+        self.config = config
+        # -- cross-round flags --
+        self.stuck = False
+        self.single = config.mode == "single"
+        self.round_index = 0
+        # -- coordinator state (valid when this node roots the round) --
+        self.is_coordinator = False
+        self.coord_k = 0
+        self.barrier_pending = 0
+        self.improved_any = False
+        self.improved_count = 0
+        # -- per-round state --
+        self._reset_round_state()
+
+    # ------------------------------------------------------------------
+    # round-state management
+    # ------------------------------------------------------------------
+
+    def _reset_round_state(self) -> None:
+        self.my_deg = 0
+        # SearchDegree aggregation
+        self.pending_reports: set[int] = set()
+        self.agg_max: Agg | None = None
+        self.agg_count = 0
+        self.agg_elig: Agg | None = None
+        self.via_max: int | None = None  # None = self
+        self.via_elig: int | None = None
+        # fragment membership
+        self.frag: FragId | None = None
+        self.round_k = 0
+        self.got_cut = False
+        self.expected_echo: set[int] = set()
+        self.expected_cross: set[int] = set()
+        self.best: tuple[int, int, int] | None = None  # (degmax, local, remote)
+        self.via_best: int | None = None  # child holding best; None = self
+        self.echoed = False
+        self.deferred_waves: list[tuple[int, int, int, int]] = []
+        # cutter role
+        self.is_cutter = False
+        self.cutter_k = 0
+        self.cut_pending: set[int] = set()
+        self.cut_candidates: list[tuple[int, int, int, int]] = []  # (deg,l,r,child)
+        self.awaiting_exchange = False
+        # exchange endpoint state
+        self.pending_attach: int | None = None
+        # MoveRoot handoff state (cleared by the ack, not by round reset)
+        if not hasattr(self, "pending_move_ack"):
+            self.pending_move_ack: int | None = None
+
+    def degree(self) -> int:
+        """Current tree degree (children + parent edge)."""
+        return len(self.children) + (0 if self.parent is None else 1)
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self.parent is None:
+            self._begin_round(reset=False)
+
+    def on_message(self, sender: int, msg: Message) -> None:
+        if isinstance(msg, Search):
+            self._on_search(sender, msg)
+        elif isinstance(msg, DegreeReport):
+            self._on_degree_report(sender, msg)
+        elif isinstance(msg, MoveRoot):
+            self._on_move_root(sender, msg)
+        elif isinstance(msg, MoveRootAck):
+            self._on_move_root_ack(sender)
+        elif isinstance(msg, Cut):
+            self._on_cut(sender, msg)
+        elif isinstance(msg, BfsWave):
+            self._on_wave(sender, msg)
+        elif isinstance(msg, CousinReply):
+            self._on_cousin_reply(sender, msg)
+        elif isinstance(msg, WaveEcho):
+            self._on_wave_echo(sender, msg)
+        elif isinstance(msg, Update):
+            self._on_update(sender, msg)
+        elif isinstance(msg, ChildMsg):
+            self._on_child(sender)
+        elif isinstance(msg, ChildAck):
+            self._on_child_ack(sender)
+        elif isinstance(msg, FlipBack):
+            self._on_flip_back(sender)
+        elif isinstance(msg, ExchangeDone):
+            self._on_exchange_done(sender)
+        elif isinstance(msg, ImproveReport):
+            self._on_improve_report(msg)
+        elif isinstance(msg, Terminate):
+            self._on_terminate()
+        else:  # pragma: no cover - defensive
+            raise ProtocolError(f"MDST got unknown message {msg!r}")
+
+    # ------------------------------------------------------------------
+    # phase 1: SearchDegree
+    # ------------------------------------------------------------------
+
+    def _begin_round(self, reset: bool) -> None:
+        """Coordinator starts a round: broadcast Search, await reports."""
+        self.round_index += 1
+        if (
+            self.config.max_rounds is not None
+            and self.round_index > self.config.max_rounds
+        ):
+            self.ctx.mark("capped", self.round_index)
+            self._terminate_all()
+            return
+        if reset:
+            self.stuck = False
+        self._reset_round_state()
+        self.is_coordinator = True
+        self.improved_any = False
+        self.improved_count = 0
+        self._search_init()
+        for c in self.children:
+            self.send(c, Search(reset=reset, single=self.single))
+        if not self.pending_reports:
+            self._finish_search()
+
+    def _search_init(self) -> None:
+        """Seed aggregation with this node's own degree."""
+        self.my_deg = self.degree()
+        own: Agg = (self.my_deg, self.node_id)
+        self.agg_max = own
+        self.agg_count = 1
+        self.agg_elig = None if self.stuck else own
+        self.via_max = None
+        self.via_elig = None
+        self.pending_reports = set(self.children)
+
+    def _on_search(self, sender: int, msg: Search) -> None:
+        if sender != self.parent:
+            raise ProtocolError(
+                f"{self.node_id}: Search from non-parent {sender}"
+            )
+        self._reset_round_state()
+        self.single = msg.single
+        if msg.reset:
+            self.stuck = False
+        self._search_init()
+        for c in self.children:
+            self.send(c, Search(reset=msg.reset, single=msg.single))
+        if not self.pending_reports:
+            self._send_degree_report()
+
+    def _merge_report(self, child: int, msg: DegreeReport) -> None:
+        sub: Agg = (msg.deg, msg.node)
+        assert self.agg_max is not None
+        if sub[0] > self.agg_max[0]:
+            self.agg_count = msg.count or 0
+        elif sub[0] == self.agg_max[0]:
+            self.agg_count += msg.count or 0
+        if _better(sub, self.agg_max):
+            self.agg_max = sub
+            self.via_max = child
+        if msg.elig_deg is not None and msg.elig_node is not None:
+            esub: Agg = (msg.elig_deg, msg.elig_node)
+            if _better(esub, self.agg_elig):
+                self.agg_elig = esub
+                self.via_elig = child
+
+    def _on_degree_report(self, sender: int, msg: DegreeReport) -> None:
+        if sender not in self.pending_reports:
+            raise ProtocolError(
+                f"{self.node_id}: unexpected DegreeReport from {sender}"
+            )
+        self._merge_report(sender, msg)
+        self.pending_reports.discard(sender)
+        if not self.pending_reports:
+            if self.is_coordinator:
+                self._finish_search()
+            else:
+                self._send_degree_report()
+
+    def _send_degree_report(self) -> None:
+        assert self.parent is not None and self.agg_max is not None
+        if self.single:
+            elig = self.agg_elig
+            msg = DegreeReport(
+                deg=self.agg_max[0],
+                node=self.agg_max[1],
+                elig_deg=None if elig is None else elig[0],
+                elig_node=None if elig is None else elig[1],
+            )
+        else:
+            msg = DegreeReport(
+                deg=self.agg_max[0], node=self.agg_max[1], count=self.agg_count
+            )
+        self.send(self.parent, msg)
+
+    def _finish_search(self) -> None:
+        """Coordinator: aggregation done — move the root or terminate."""
+        assert self.agg_max is not None
+        k = self.agg_max[0]
+        if k <= self.config.target_degree:
+            self.ctx.mark("final_k", k)
+            self._terminate_all()
+            return
+        if self.single:
+            if self.agg_elig is None or self.agg_elig[0] < k:
+                # every maximum-degree node is known stuck: local optimum
+                self.ctx.mark("final_k", k)
+                self._terminate_all()
+                return
+            target = self.agg_elig[1]
+            via = self.via_elig
+            count = None
+        else:
+            target = self.agg_max[1]
+            via = self.via_max
+            count = self.agg_count
+        self.ctx.mark(
+            "round",
+            {
+                "index": self.round_index,
+                "k": k,
+                "cutters": 1 if self.single else self.agg_count,
+                "mode": "single" if self.single else "concurrent",
+            },
+        )
+        if target == self.node_id:
+            self._become_round_root(k, count)
+        else:
+            # relinquish the root: reverse one hop toward the target; we
+            # stay parentless until the next hop acknowledges (repair:
+            # keeps parent pointers a forest at every instant)
+            assert via is not None
+            self.is_coordinator = False
+            self.children.discard(via)
+            self.pending_move_ack = via
+            self.send(
+                via,
+                MoveRoot(k=k, target=target, count=count, round=self.round_index),
+            )
+
+    # ------------------------------------------------------------------
+    # phase 2: MoveRoot (path reversal)
+    # ------------------------------------------------------------------
+
+    def _on_move_root(self, sender: int, msg: MoveRoot) -> None:
+        # sender was our parent and is reversing: it becomes our child
+        if sender != self.parent:
+            raise ProtocolError(f"{self.node_id}: MoveRoot from non-parent {sender}")
+        self.children.add(sender)
+        self.parent = None
+        self.send(sender, MoveRootAck())
+        if msg.round is not None:
+            self.round_index = msg.round
+        if self.node_id == msg.target:
+            if self.degree() != msg.k:
+                raise ProtocolError(
+                    f"{self.node_id}: MoveRoot target degree {self.degree()} != k={msg.k}"
+                )
+            self._become_round_root(msg.k, msg.count)
+            return
+        via = self.via_elig if self.single else self.via_max
+        if via is None:
+            raise ProtocolError(f"{self.node_id}: MoveRoot with no via pointer")
+        self.children.discard(via)
+        self.pending_move_ack = via
+        self.send(
+            via,
+            MoveRoot(k=msg.k, target=msg.target, count=msg.count, round=msg.round),
+        )
+
+    def _on_move_root_ack(self, sender: int) -> None:
+        if self.pending_move_ack != sender:
+            raise ProtocolError(f"{self.node_id}: stray MoveRootAck from {sender}")
+        self.pending_move_ack = None
+        self.parent = sender
+
+    def _become_round_root(self, k: int, count: int | None) -> None:
+        """The target max-degree node roots the round and starts cutting."""
+        self.is_coordinator = True
+        self.coord_k = k
+        self.barrier_pending = 1 if self.single else int(count or 1)
+        self.improved_any = False
+        self.improved_count = 0
+        self._act_as_cutter(k)
+        # the root is a member of its own pseudo-fragment (self, self) so
+        # cousin waves aimed at it get well-formed replies
+        self._member_init(k, (self.node_id, self.node_id))
+
+    # ------------------------------------------------------------------
+    # phase 3: Cut + BFS waves
+    # ------------------------------------------------------------------
+
+    def _act_as_cutter(self, k: int) -> None:
+        self.is_cutter = True
+        self.cutter_k = k
+        self.cut_pending = set(self.children)
+        self.cut_candidates = []
+        for c in self.children:
+            self.send(c, Cut(k=k, cutter=self.node_id))
+        if not self.cut_pending:
+            self._cutter_choose()
+
+    def _on_cut(self, sender: int, msg: Cut) -> None:
+        if sender != self.parent:
+            raise ProtocolError(f"{self.node_id}: Cut from non-parent {sender}")
+        self.got_cut = True
+        if not self.single and self.degree() == msg.k and not self.is_cutter:
+            self._act_as_cutter(msg.k)
+        self._member_init(msg.k, (msg.cutter, self.node_id))
+
+    def _on_wave(self, sender: int, msg: BfsWave) -> None:
+        if msg.tree:
+            if sender != self.parent:
+                raise ProtocolError(
+                    f"{self.node_id}: tree wave from non-parent {sender}"
+                )
+            if not self.single and self.degree() == msg.k and not self.is_cutter:
+                self._act_as_cutter(msg.k)
+            self._member_init(msg.k, (msg.frag_root, msg.frag_child))
+        else:
+            if self.frag is None:
+                self.deferred_waves.append(
+                    (sender, msg.k, msg.frag_root, msg.frag_child)
+                )
+            else:
+                self._handle_cousin(sender, (msg.frag_root, msg.frag_child))
+
+    def _member_init(self, k: int, frag: FragId) -> None:
+        """Adopt a fragment identity and flood the wave."""
+        if self.frag is not None:
+            raise ProtocolError(f"{self.node_id}: second fragment id in one round")
+        self.frag = frag
+        self.round_k = k
+        self.best = None
+        self.via_best = None
+        # cutters do not forward the wave into their (cut) children
+        self.expected_echo = set() if self.is_cutter else set(self.children)
+        cross = set(self.neighbors) - self.children
+        if self.parent is not None:
+            cross.discard(self.parent)
+        self.expected_cross = cross
+        if not self.is_cutter:
+            tree_wave = BfsWave(k=k, frag_root=frag[0], frag_child=frag[1], tree=True)
+            for c in self.children:
+                self.send(c, tree_wave)
+        cross_wave = BfsWave(k=k, frag_root=frag[0], frag_child=frag[1], tree=False)
+        for t in sorted(cross):
+            self.send(t, cross_wave)
+        pending, self.deferred_waves = self.deferred_waves, []
+        for s, _wk, fr, fc in pending:
+            self._handle_cousin(s, (fr, fc))
+        self._maybe_echo()
+
+    def _handle_cousin(self, sender: int, other: FragId) -> None:
+        """Cross-edge wave: always answer with our identity and degree
+        (see :class:`~repro.mdst.messages.CousinReply` for why the
+        paper's ignore-larger-identity optimization is dropped)."""
+        assert self.frag is not None
+        mine = self.frag
+        self.send(
+            sender,
+            CousinReply(frag_root=mine[0], frag_child=mine[1], deg=self.degree()),
+        )
+
+    def _on_cousin_reply(self, sender: int, msg: CousinReply) -> None:
+        if sender not in self.expected_cross:
+            raise ProtocolError(
+                f"{self.node_id}: unexpected CousinReply from {sender}"
+            )
+        assert self.frag is not None
+        other = (msg.frag_root, msg.frag_child)
+        k = self.round_k
+        # the smaller fragment identity books the candidate (§3.2.4)
+        if (
+            other > self.frag
+            and other[0] == self.frag[0]  # same cutter (DESIGN.md §4.2)
+            and self.degree() <= k - 2
+            and msg.deg <= k - 2
+        ):
+            cand = (max(self.degree(), msg.deg), self.node_id, sender)
+            self._consider(cand, via=None)
+        self.expected_cross.discard(sender)
+        self._maybe_echo()
+
+    def _consider(self, cand: tuple[int, int, int], via: int | None) -> None:
+        if self.best is None or cand < self.best:
+            self.best = cand
+            self.via_best = via
+
+    def _maybe_echo(self) -> None:
+        """All expected replies in → report the subtree's best candidate
+        (exactly once per round)."""
+        if self.echoed or self.expected_echo or self.expected_cross:
+            return
+        if self.parent is None:
+            return  # the round root aggregates via WaveEcho from children
+        self.echoed = True
+        if self.best is None:
+            self.send(self.parent, WaveEcho(local=None, remote=None, deg=None))
+        else:
+            deg, local, remote = self.best
+            self.send(self.parent, WaveEcho(local=local, remote=remote, deg=deg))
+
+    def _on_wave_echo(self, sender: int, msg: WaveEcho) -> None:
+        if self.is_cutter and sender in self.cut_pending:
+            # a cut child reporting its fragment's candidate
+            self.cut_pending.discard(sender)
+            if msg.local is not None:
+                assert msg.remote is not None and msg.deg is not None
+                self.cut_candidates.append((msg.deg, msg.local, msg.remote, sender))
+            if not self.cut_pending:
+                self._cutter_choose()
+            return
+        if sender not in self.expected_echo:
+            raise ProtocolError(f"{self.node_id}: unexpected WaveEcho from {sender}")
+        self.expected_echo.discard(sender)
+        if msg.local is not None:
+            assert msg.remote is not None and msg.deg is not None
+            self._consider((msg.deg, msg.local, msg.remote), via=sender)
+        self._maybe_echo()
+
+    # ------------------------------------------------------------------
+    # phase 4: Choose + exchange
+    # ------------------------------------------------------------------
+
+    def _cutter_choose(self) -> None:
+        if not self.cut_candidates:
+            self._cutter_finish(improved=False)
+            return
+        deg, local, remote, child = min(self.cut_candidates)
+        if deg > self.cutter_k - 2:
+            raise ProtocolError(
+                f"cutter {self.node_id}: candidate degree {deg} > k-2"
+            )
+        self.awaiting_exchange = True
+        self.send(child, Update(local=local, remote=remote))
+
+    def _on_update(self, sender: int, msg: Update) -> None:
+        if sender != self.parent:
+            raise ProtocolError(f"{self.node_id}: Update from non-parent {sender}")
+        if self.node_id == msg.local:
+            self._attach(msg.remote)
+        else:
+            if self.via_best is None:
+                raise ProtocolError(
+                    f"{self.node_id}: Update for {msg.local} but no via pointer"
+                )
+            self.send(self.via_best, Update(local=msg.local, remote=msg.remote))
+
+    def _attach(self, remote: int) -> None:
+        """This node is the local endpoint: ask the remote endpoint to
+        adopt us; the flip proceeds once the adoption is acknowledged."""
+        if remote not in self.neighbors:
+            raise ProtocolError(
+                f"{self.node_id}: chosen edge to non-neighbor {remote}"
+            )
+        self.pending_attach = remote
+        self.send(remote, ChildMsg())
+
+    def _on_child_ack(self, sender: int) -> None:
+        """Adoption confirmed: commit the re-rooting (repair: without the
+        ack, ExchangeDone can outrun ChildMsg and the next round's Search
+        would miss the fresh child)."""
+        if self.pending_attach != sender:
+            raise ProtocolError(f"{self.node_id}: stray ChildAck from {sender}")
+        self.pending_attach = None
+        old_parent = self.parent
+        assert old_parent is not None
+        self.parent = sender
+        if self.got_cut:
+            # single-hop fragment: the old parent is the cutter itself
+            self.send(old_parent, ExchangeDone())
+        else:
+            self.children.add(old_parent)
+            self.send(old_parent, FlipBack())
+
+    def _on_child(self, sender: int) -> None:
+        self.children.add(sender)
+        self.send(sender, ChildAck())
+        if self.round_k and self.degree() >= self.round_k:
+            raise ProtocolError(
+                f"{self.node_id}: attach raised degree to {self.degree()}"
+                f" >= k={self.round_k}"
+            )
+
+    def _on_flip_back(self, sender: int) -> None:
+        """One reversal hop: my via-side child becomes my parent."""
+        if sender not in self.children:
+            raise ProtocolError(f"{self.node_id}: FlipBack from non-child {sender}")
+        old_parent = self.parent
+        assert old_parent is not None
+        self.children.discard(sender)
+        self.parent = sender
+        if self.got_cut:
+            # I was the fragment root: the old parent is the cutter
+            self.send(old_parent, ExchangeDone())
+        else:
+            self.children.add(old_parent)
+            self.send(old_parent, FlipBack())
+
+    def _on_exchange_done(self, sender: int) -> None:
+        if not (self.is_cutter and self.awaiting_exchange):
+            raise ProtocolError(f"{self.node_id}: unexpected ExchangeDone")
+        self.children.discard(sender)
+        self.awaiting_exchange = False
+        self._cutter_finish(improved=True)
+
+    def _cutter_finish(self, improved: bool) -> None:
+        self.is_cutter = False
+        if self.single and not improved:
+            self.stuck = True
+        if self.is_coordinator:
+            self._collect(improved)
+        else:
+            assert self.parent is not None
+            self.send(self.parent, ImproveReport(improved=improved))
+
+    # ------------------------------------------------------------------
+    # phase 5: barrier and round transition
+    # ------------------------------------------------------------------
+
+    def _on_improve_report(self, msg: ImproveReport) -> None:
+        if self.is_coordinator:
+            self._collect(msg.improved)
+        else:
+            assert self.parent is not None
+            self.send(self.parent, ImproveReport(improved=msg.improved))
+
+    def _collect(self, improved: bool) -> None:
+        self.improved_any |= improved
+        self.improved_count += int(improved)
+        self.barrier_pending -= 1
+        if self.barrier_pending > 0:
+            return
+        self.ctx.mark(
+            "round_end",
+            {"index": self.round_index, "improved": self.improved_count},
+        )
+        if self.improved_any:
+            self._begin_round(reset=True)
+        elif not self.single and self.config.polish:
+            # concurrent phase exhausted: switch to single-target polish
+            self.single = True
+            self._begin_round(reset=False)
+        elif self.single:
+            # target was stuck: next round skips it via the eligible
+            # aggregate; _finish_search terminates once all are stuck
+            self._begin_round(reset=False)
+        else:
+            self.ctx.mark("final_k", self.coord_k)
+            self._terminate_all()
+
+    def _terminate_all(self) -> None:
+        for c in self.children:
+            self.send(c, Terminate())
+        self.halt()
+
+    def _on_terminate(self) -> None:
+        for c in self.children:
+            self.send(c, Terminate())
+        self.halt()
+
+
+def make_mdst_factory(tree_parents: dict[int, int | None], config: MDSTConfig):
+    """Factory closure binding the initial tree and configuration."""
+    children: dict[int, set[int]] = {u: set() for u in tree_parents}
+    for u, p in tree_parents.items():
+        if p is not None:
+            children[p].add(u)
+
+    def factory(ctx: NodeContext) -> MDSTProcess:
+        return MDSTProcess(
+            ctx,
+            parent=tree_parents[ctx.node_id],
+            children=children[ctx.node_id],
+            config=config,
+        )
+
+    return factory

@@ -1,0 +1,107 @@
+"""Result record of a distributed MDegST run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..graphs.graph import Graph
+from ..graphs.trees import RootedTree
+from ..sim.metrics import SimulationReport
+
+__all__ = ["RoundInfo", "MDSTResult"]
+
+
+@dataclass(frozen=True)
+class RoundInfo:
+    """One protocol round as recorded by the root's marks."""
+
+    index: int
+    k: int  # maximum tree degree at round start
+    mode: str  # "concurrent" | "single"
+    cutters: int  # number of participating max-degree nodes
+    improved: int  # exchanges committed this round
+    messages: int = 0  # messages sent during this round (budget audit)
+
+
+@dataclass(frozen=True)
+class MDSTResult:
+    """Everything the experiments need about one run.
+
+    Attributes
+    ----------
+    graph:
+        The network.
+    initial_tree / final_tree:
+        Spanning trees before/after; ``initial_degree`` is the paper's k,
+        ``final_degree`` its k* (degree of the produced locally optimal
+        tree).
+    rounds:
+        Per-round log (k trajectory, improvements).
+    report:
+        Simulator metrics (message/time/bit complexity) of the MDegST
+        phase only (startup construction is accounted separately).
+    """
+
+    graph: Graph
+    initial_tree: RootedTree
+    final_tree: RootedTree
+    rounds: tuple[RoundInfo, ...]
+    report: SimulationReport
+
+    @property
+    def initial_degree(self) -> int:
+        return self.initial_tree.max_degree()
+
+    @property
+    def final_degree(self) -> int:
+        return self.final_tree.max_degree()
+
+    @property
+    def degree_drop(self) -> int:
+        """k − k\\*, the factor in both complexity bounds."""
+        return self.initial_degree - self.final_degree
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def messages(self) -> int:
+        return self.report.total_messages
+
+    @property
+    def causal_time(self) -> int:
+        return self.report.causal_time
+
+    def summary(self) -> str:
+        """Human-readable digest used by the CLI and examples."""
+        lines = [
+            f"n={self.graph.n} m={self.graph.m}",
+            f"degree: {self.initial_degree} -> {self.final_degree}"
+            f" (drop {self.degree_drop})",
+            f"rounds={self.num_rounds} messages={self.messages}"
+            f" causal_time={self.causal_time}",
+        ]
+        for r in self.rounds:
+            lines.append(
+                f"  round {r.index}: k={r.k} mode={r.mode}"
+                f" cutters={r.cutters} improved={r.improved}"
+            )
+        return "\n".join(lines)
+
+    def to_record(self) -> dict[str, Any]:
+        """Flat dict for the analysis harness / JSON export."""
+        return {
+            "n": self.graph.n,
+            "m": self.graph.m,
+            "k_initial": self.initial_degree,
+            "k_final": self.final_degree,
+            "degree_drop": self.degree_drop,
+            "rounds": self.num_rounds,
+            "messages": self.messages,
+            "causal_time": self.causal_time,
+            "bits": self.report.total_bits,
+            "max_msg_fields": self.report.max_id_fields,
+            "by_type": dict(self.report.by_type),
+        }

@@ -1,0 +1,179 @@
+"""Exact minimum-degree spanning tree for small instances.
+
+The problem is NP-hard (generalizes Hamiltonian path, Garey & Johnson),
+so exactness is only feasible at benchmark-oracle sizes. Two engines:
+
+* ``d = 2`` is answered by the Held–Karp Hamiltonian-path test
+  (O(2^n · n²), exact);
+* ``d ≥ 3`` by depth-first branch-and-bound over edges with union-find
+  connectivity and degree-budget pruning.
+
+The search iterates d upward from :func:`min_degree_lower_bound`, so the
+first feasible d is Δ* — the ground truth for experiment T1.
+"""
+
+from __future__ import annotations
+
+from ..errors import NotConnectedError, SolverError
+from ..graphs.graph import Graph
+from ..graphs.properties import has_hamiltonian_path, min_degree_lower_bound
+from ..graphs.traversal import is_connected
+from ..graphs.trees import RootedTree, tree_from_edges
+
+__all__ = [
+    "exact_minimum_degree_spanning_tree",
+    "spanning_tree_with_max_degree",
+    "optimal_degree",
+]
+
+
+def spanning_tree_with_max_degree(
+    graph: Graph, d: int, node_limit: int = 24
+) -> RootedTree | None:
+    """Return a spanning tree of max degree ≤ *d*, or ``None`` if none
+    exists. Exact; refuses graphs above *node_limit* nodes."""
+    n = graph.n
+    if n > node_limit:
+        raise SolverError(
+            f"exact solver limited to {node_limit} nodes, got {n}"
+        )
+    if n == 0:
+        raise SolverError("empty graph")
+    if not is_connected(graph):
+        raise NotConnectedError("graph must be connected")
+    if n == 1:
+        return RootedTree(graph.nodes()[0], {})
+    if d < 1:
+        return None
+    if graph.max_degree() < 1:
+        return None
+
+    nodes = graph.nodes()
+    root = nodes[0]
+    if d == 1:
+        if n == 2:
+            return tree_from_edges(root, graph.edges())
+        return None
+    if d == 2 and n <= 20:
+        # Hamiltonian-path DP is much faster than branch & bound here
+        if not has_hamiltonian_path(graph):
+            return None
+        path = _hamiltonian_path(graph)
+        assert path is not None
+        return tree_from_edges(path[0], list(zip(path, path[1:])))
+
+    edges = graph.edges()
+    m = len(edges)
+    budget = {u: d for u in nodes}
+    uf_parent = list(range(n))
+    index = {u: i for i, u in enumerate(nodes)}
+
+    def find(x: int) -> int:
+        # NO path compression: the backtracking undo resets exactly one
+        # parent pointer, which is only sound if find never mutates
+        while uf_parent[x] != x:
+            x = uf_parent[x]
+        return x
+
+    chosen: list[tuple[int, int]] = []
+
+    def backtrack(edge_idx: int, components: int) -> bool:
+        if components == 1:
+            return True
+        if edge_idx >= m or m - edge_idx < components - 1:
+            return False  # not enough edges left to connect
+        u, v = edges[edge_idx]
+        ru, rv = find(index[u]), find(index[v])
+        # Option 1: take the edge (if it merges components and budget ok)
+        if ru != rv and budget[u] > 0 and budget[v] > 0:
+            budget[u] -= 1
+            budget[v] -= 1
+            uf_parent[ru] = rv
+            chosen.append((u, v))
+            if backtrack(edge_idx + 1, components - 1):
+                return True
+            chosen.pop()
+            uf_parent[ru] = ru
+            budget[u] += 1
+            budget[v] += 1
+        # Option 2: skip the edge — only sound if connectivity remains
+        # possible; the edge-count prune above handles the cheap case
+        return backtrack(edge_idx + 1, components)
+
+    if backtrack(0, n):
+        return tree_from_edges(root, chosen)
+    return None
+
+
+def _hamiltonian_path(graph: Graph) -> list[int] | None:
+    """Recover an actual Hamiltonian path (bitmask DP with parents)."""
+    nodes = graph.nodes()
+    n = len(nodes)
+    index = {u: i for i, u in enumerate(nodes)}
+    adj = [0] * n
+    for u in nodes:
+        for v in graph.neighbors(u):
+            adj[index[u]] |= 1 << index[v]
+    full = (1 << n) - 1
+    reach: list[int] = [0] * (1 << n)
+    for i in range(n):
+        reach[1 << i] = 1 << i
+    for mask in range(1, full + 1):
+        ends = reach[mask]
+        if not ends or mask == full:
+            continue
+        rest = full & ~mask
+        e = ends
+        while e:
+            i = (e & -e).bit_length() - 1
+            e &= e - 1
+            w = adj[i] & rest
+            while w:
+                j = (w & -w).bit_length() - 1
+                w &= w - 1
+                reach[mask | (1 << j)] |= 1 << j
+    if not reach[full]:
+        return None
+    # reconstruct backwards
+    mask = full
+    end = (reach[full] & -reach[full]).bit_length() - 1
+    path = [end]
+    while mask != (1 << path[-1]):
+        cur = path[-1]
+        prev_mask = mask & ~(1 << cur)
+        found = False
+        p = adj[cur] & prev_mask
+        while p:
+            cand = (p & -p).bit_length() - 1
+            p &= p - 1
+            if reach[prev_mask] & (1 << cand):
+                path.append(cand)
+                mask = prev_mask
+                found = True
+                break
+        assert found
+    return [nodes[i] for i in reversed(path)]
+
+
+def optimal_degree(graph: Graph, node_limit: int = 24) -> int:
+    """Δ\\*: the minimum over spanning trees of the maximum degree."""
+    tree = exact_minimum_degree_spanning_tree(graph, node_limit=node_limit)
+    return tree.max_degree()
+
+
+def exact_minimum_degree_spanning_tree(
+    graph: Graph, node_limit: int = 24
+) -> RootedTree:
+    """Compute an exact minimum-degree spanning tree (small n only)."""
+    if graph.n == 0:
+        raise SolverError("empty graph")
+    if not is_connected(graph):
+        raise NotConnectedError("graph must be connected")
+    if graph.n == 1:
+        return RootedTree(graph.nodes()[0], {})
+    lo = max(1, min_degree_lower_bound(graph))
+    for d in range(lo, graph.n):
+        tree = spanning_tree_with_max_degree(graph, d, node_limit=node_limit)
+        if tree is not None:
+            return tree
+    raise SolverError("no spanning tree found (graph not connected?)")

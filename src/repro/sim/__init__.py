@@ -1,0 +1,51 @@
+"""Asynchronous message-passing network simulator (the paper's model §2)."""
+
+from .delays import (
+    DelayModel,
+    ExponentialDelay,
+    PerLinkDelay,
+    UniformDelay,
+    UnitDelay,
+    delay_model_from_name,
+)
+from .events import Event, EventKind, EventQueue
+from .faults import FaultPlan, crash_after, drop_messages, wrap_factory
+from .messages import Message, message_bits
+from .metrics import MessageStats, SimulationReport
+from .monitors import (
+    all_terminated_at_quiescence,
+    bounded_in_flight,
+    parent_pointers_form_forest,
+)
+from .network import Network
+from .node import NodeContext, Process
+from .trace import TraceRecord, TraceRecorder, format_trace
+
+__all__ = [
+    "Event",
+    "EventKind",
+    "EventQueue",
+    "Message",
+    "message_bits",
+    "MessageStats",
+    "SimulationReport",
+    "Network",
+    "NodeContext",
+    "Process",
+    "TraceRecord",
+    "TraceRecorder",
+    "format_trace",
+    "DelayModel",
+    "UnitDelay",
+    "UniformDelay",
+    "ExponentialDelay",
+    "PerLinkDelay",
+    "delay_model_from_name",
+    "parent_pointers_form_forest",
+    "all_terminated_at_quiescence",
+    "bounded_in_flight",
+    "FaultPlan",
+    "wrap_factory",
+    "crash_after",
+    "drop_messages",
+]

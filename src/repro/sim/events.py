@@ -1,0 +1,122 @@
+"""Event primitives for the discrete-event simulator.
+
+The queue is a binary heap ordered by ``(time, seq)`` where ``seq`` is a
+global enqueue counter: ties in simulated time resolve deterministically in
+enqueue order, which makes every simulation bit-reproducible for a fixed
+seed (a property the experiment harness and the regression tests rely on).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any
+
+from ..errors import SchedulingError
+
+__all__ = ["EventKind", "Event", "EventQueue"]
+
+
+class EventKind(Enum):
+    """What an event does when popped."""
+
+    START = "start"  # wake a node's on_start handler
+    DELIVER = "deliver"  # deliver a message to a node
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """A scheduled simulator occurrence.
+
+    Attributes
+    ----------
+    time:
+        Simulated timestamp at which the event fires.
+    seq:
+        Global tie-breaking sequence number (assigned by the queue).
+    kind:
+        START or DELIVER.
+    target:
+        Node identity that handles the event.
+    sender:
+        Originating node for DELIVER events (``-1`` for START).
+    payload:
+        The message object for DELIVER events (``None`` for START).
+    depth:
+        Causal depth of the message: 1 + the causal clock of the sender at
+        send time. The maximum depth over a run is the paper's *time
+        complexity* (longest causal dependency chain).
+    """
+
+    time: float
+    seq: int
+    kind: EventKind
+    target: int
+    sender: int = -1
+    payload: Any = None
+    depth: int = 0
+
+    def sort_key(self) -> tuple[float, int]:
+        return (self.time, self.seq)
+
+
+@dataclass
+class EventQueue:
+    """Deterministic binary-heap event queue."""
+
+    _heap: list[tuple[float, int, Event]] = field(default_factory=list)
+    _seq: int = 0
+    _now: float = 0.0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (time of the last popped event)."""
+        return self._now
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+    def push(
+        self,
+        time: float,
+        kind: EventKind,
+        target: int,
+        sender: int = -1,
+        payload: Any = None,
+        depth: int = 0,
+    ) -> Event:
+        """Schedule an event at absolute *time* (must not be in the past)."""
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        ev = Event(
+            time=time,
+            seq=self._seq,
+            kind=kind,
+            target=target,
+            sender=sender,
+            payload=payload,
+            depth=depth,
+        )
+        self._seq += 1
+        heapq.heappush(self._heap, (time, ev.seq, ev))
+        return ev
+
+    def pop(self) -> Event:
+        """Pop the earliest event and advance the clock to it."""
+        if not self._heap:
+            raise SchedulingError("pop from empty event queue")
+        time, _seq, ev = heapq.heappop(self._heap)
+        self._now = time
+        return ev
+
+    def peek_time(self) -> float:
+        """Time of the next event without popping."""
+        if not self._heap:
+            raise SchedulingError("peek on empty event queue")
+        return self._heap[0][0]

@@ -1,0 +1,90 @@
+"""Fault injection for the simulator.
+
+The paper's model (§2) assumes *reliable* channels and non-crashing
+processors — its protocol has no retransmission or failure detection.
+This module lets tests demonstrate that the assumption is load-bearing:
+inject a fault, observe that the protocol stalls (caught by the event
+budget or the termination monitor) instead of silently corrupting the
+tree. Faults are applied at the process layer, so any protocol can be
+wrapped without modification.
+
+* :func:`crash_after` — the node processes its first *count* events and
+  then goes silent (crash-stop);
+* :func:`drop_messages` — a deterministic fraction of the node's
+  *outgoing* sends are dropped (lossy link);
+* :func:`FaultPlan` — per-node mapping of wrappers applied by
+  :func:`wrap_factory`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from ..rng import substream
+from .messages import Message
+from .node import NodeContext, Process
+
+__all__ = ["FaultPlan", "wrap_factory", "crash_after", "drop_messages"]
+
+#: A fault is a wrapper applied to a freshly built process.
+Fault = Callable[[Process], Process]
+FaultPlan = Mapping[int, Fault]
+
+
+def wrap_factory(factory: Callable[[NodeContext], Process], plan: FaultPlan):
+    """Wrap *factory* so nodes named in *plan* get their fault applied."""
+
+    def wrapped(ctx: NodeContext) -> Process:
+        proc = factory(ctx)
+        fault = plan.get(ctx.node_id)
+        return fault(proc) if fault is not None else proc
+
+    return wrapped
+
+
+def crash_after(count: int) -> Fault:
+    """Crash-stop after handling *count* events (0 = never starts)."""
+
+    def fault(proc: Process) -> Process:
+        handled = 0
+        orig_start = proc.on_start
+        orig_message = proc.on_message
+
+        def on_start() -> None:
+            nonlocal handled
+            if handled >= count:
+                return
+            handled += 1
+            orig_start()
+
+        def on_message(sender: int, msg: Message) -> None:
+            nonlocal handled
+            if handled >= count:
+                return  # crashed: silently swallow
+            handled += 1
+            orig_message(sender, msg)
+
+        proc.on_start = on_start  # type: ignore[method-assign]
+        proc.on_message = on_message  # type: ignore[method-assign]
+        return proc
+
+    return fault
+
+
+def drop_messages(probability: float, seed: int = 0) -> Fault:
+    """Drop each *outgoing* message independently with *probability*."""
+    if not (0.0 <= probability <= 1.0):
+        raise ValueError("probability must be in [0, 1]")
+
+    def fault(proc: Process) -> Process:
+        rng = substream(seed, f"drop:{proc.node_id}:{probability}")
+        orig_send = proc.ctx.send
+
+        def send(dst: int, msg: Message) -> None:
+            if rng.random() >= probability:
+                orig_send(dst, msg)
+
+        proc.ctx.send = send  # type: ignore[method-assign]
+        return proc
+
+    return fault

@@ -1,0 +1,80 @@
+"""Reusable invariant monitors.
+
+A monitor is a callable ``network -> None`` that raises
+:class:`~repro.errors.ProtocolError` when an invariant is violated. The
+network invokes monitors periodically and once at quiescence, which turns
+silent protocol corruption into loud test failures *at the moment it
+happens* rather than in post-run verification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ProtocolError
+from .network import Network
+
+__all__ = [
+    "Monitor",
+    "parent_pointers_form_forest",
+    "all_terminated_at_quiescence",
+    "bounded_in_flight",
+]
+
+Monitor = Callable[[Network], None]
+
+
+def parent_pointers_form_forest(attr: str = "parent") -> Monitor:
+    """Check that per-node ``parent`` pointers never contain a cycle
+    (transient 2-cycles during path reversal live in channels, not in
+    node state, so this must hold at every instant).
+
+    Nodes whose attribute is missing or ``None`` are treated as roots.
+    """
+
+    def monitor(net: Network) -> None:
+        parent_of = {
+            u: getattr(p, attr, None) for u, p in net.processes.items()
+        }
+        for start in parent_of:
+            seen = set()
+            cur: int | None = start
+            while cur is not None:
+                if cur in seen:
+                    raise ProtocolError(
+                        f"parent-pointer cycle through node {cur} at t={net.now:.3f}"
+                    )
+                seen.add(cur)
+                cur = parent_of.get(cur)
+
+    return monitor
+
+
+def all_terminated_at_quiescence() -> Monitor:
+    """At quiescence (no queued events, nothing in flight), every process
+    must have called ``halt()`` — i.e. the protocol terminates *by
+    process*, the property the paper requires of the startup spanning-tree
+    algorithm and provides for its own."""
+
+    def monitor(net: Network) -> None:
+        if len(net.queue) == 0 and net.in_flight == 0:
+            laggards = [u for u, p in net.processes.items() if not p.terminated]
+            if laggards:
+                raise ProtocolError(
+                    f"quiescent but nodes {laggards[:8]} never terminated"
+                )
+
+    return monitor
+
+
+def bounded_in_flight(limit: int) -> Monitor:
+    """Fail if more than *limit* messages are simultaneously in flight —
+    a cheap detector for broadcast storms / echo loops."""
+
+    def monitor(net: Network) -> None:
+        if net.in_flight > limit:
+            raise ProtocolError(
+                f"{net.in_flight} messages in flight exceeds bound {limit}"
+            )
+
+    return monitor

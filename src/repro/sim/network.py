@@ -1,0 +1,194 @@
+"""The asynchronous network engine.
+
+Builds one :class:`~repro.sim.node.Process` per graph node, connects them
+with FIFO bidirectional links, and runs the event loop to quiescence.
+
+Model guarantees (matching §2 of the paper plus the documented FIFO
+repair):
+
+* point-to-point messages on graph edges only, reliable, no duplication;
+* **per-link FIFO**: messages on the same directed link are delivered in
+  send order even under random delay models (delivery times are clamped
+  to be non-decreasing per link);
+* asynchronous: arbitrary positive finite delays, arbitrary node start
+  times;
+* event-driven: nodes act only on start/deliver events.
+
+The engine enforces a hard *event budget* so a livelocked protocol fails
+fast with :class:`~repro.errors.TerminationError` instead of spinning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping
+
+from ..errors import SimulationError, TerminationError
+from ..graphs.graph import Graph
+from .delays import DelayModel, UnitDelay
+from .events import EventKind, EventQueue
+from .messages import Message
+from .metrics import MessageStats, SimulationReport
+from .node import NodeContext, Process
+from .trace import TraceRecord, TraceRecorder
+
+__all__ = ["Network", "ProcessFactory"]
+
+#: A process factory: called as ``factory(ctx)`` for every node.
+ProcessFactory = type[Process] | object
+
+
+class Network:
+    """Simulated asynchronous message-passing network over a graph.
+
+    Parameters
+    ----------
+    graph:
+        Static topology. Must be non-empty.
+    factory:
+        ``Process`` subclass (or any callable ``ctx -> Process``).
+    delay:
+        Link delay model (default: unit delays — the paper's analysis
+        assumption).
+    seed:
+        Master seed binding the delay model's streams.
+    start_times:
+        Optional map ``node -> wake-up time``; nodes default to time 0.0
+        (the paper lets nodes start "perhaps at different times").
+    trace:
+        Optional :class:`TraceRecorder`.
+    monitors:
+        Iterable of callables ``network -> None`` invoked every
+        *monitor_interval* processed events (invariant checking in tests).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        factory: ProcessFactory,
+        *,
+        delay: DelayModel | None = None,
+        seed: int = 0,
+        start_times: Mapping[int, float] | None = None,
+        trace: TraceRecorder | None = None,
+        monitors: Iterable[object] = (),
+        monitor_interval: int = 256,
+    ) -> None:
+        if graph.n == 0:
+            raise SimulationError("cannot simulate an empty network")
+        self.graph = graph
+        self.queue = EventQueue()
+        self.stats = MessageStats(n=graph.n)
+        self.trace = trace
+        self.delay = delay if delay is not None else UnitDelay()
+        self.delay.bind(seed)
+        self.monitors = tuple(monitors)
+        self.monitor_interval = int(monitor_interval)
+        self._clocks: dict[int, int] = {u: 0 for u in graph.nodes()}
+        self._fifo_floor: dict[tuple[int, int], float] = {}
+        self._in_flight = 0
+        self.processes: dict[int, Process] = {}
+        for u in graph.nodes():
+            ctx = NodeContext(
+                node_id=u,
+                neighbors=tuple(sorted(graph.neighbors(u))),
+            )
+            ctx._send = self._send
+            ctx._now = lambda: self.queue.now
+            ctx._mark = self._make_marker()
+            self.processes[u] = factory(ctx)  # type: ignore[operator]
+        starts = dict(start_times or {})
+        unknown = set(starts) - set(graph.nodes())
+        if unknown:
+            raise SimulationError(f"start_times for unknown nodes {sorted(unknown)}")
+        for u in graph.nodes():
+            self.queue.push(starts.get(u, 0.0), EventKind.START, target=u)
+
+    # -- wiring ------------------------------------------------------------
+
+    def _make_marker(self):
+        def mark(label: str, value: object = None) -> None:
+            self.stats.mark(self.queue.now, label, value)
+
+        return mark
+
+    def _send(self, src: int, dst: int, msg: Message) -> None:
+        if not isinstance(msg, Message):
+            raise SimulationError(f"payload must be a Message, got {type(msg)!r}")
+        now = self.queue.now
+        latency = self.delay.sample(src, dst)
+        if latency <= 0:
+            raise SimulationError(f"delay model produced non-positive latency {latency}")
+        deliver_at = now + latency
+        # FIFO repair: clamp to the last scheduled delivery on this link.
+        key = (src, dst)
+        floor = self._fifo_floor.get(key, 0.0)
+        if deliver_at < floor:
+            deliver_at = floor
+        self._fifo_floor[key] = deliver_at
+        depth = self._clocks[src] + 1
+        self.queue.push(
+            deliver_at, EventKind.DELIVER, target=dst, sender=src, payload=msg, depth=depth
+        )
+        self._in_flight += 1
+        self.stats.record_send(msg)
+        if self.trace is not None:
+            self.trace.emit(TraceRecord(now, "send", src, dst, msg))
+
+    # -- accessors -----------------------------------------------------------
+
+    def node(self, node_id: int) -> Process:
+        """The process instance running at *node_id*."""
+        try:
+            return self.processes[node_id]
+        except KeyError:
+            raise SimulationError(f"unknown node {node_id}") from None
+
+    @property
+    def now(self) -> float:
+        return self.queue.now
+
+    @property
+    def in_flight(self) -> int:
+        """Messages sent but not yet delivered."""
+        return self._in_flight
+
+    # -- engine ----------------------------------------------------------------
+
+    def run(self, max_events: int = 5_000_000) -> SimulationReport:
+        """Drive the event loop to quiescence.
+
+        Raises :class:`TerminationError` if *max_events* is exceeded —
+        protocols in this library terminate by process, so hitting the cap
+        is always a bug.
+        """
+        processed = 0
+        while self.queue:
+            ev = self.queue.pop()
+            processed += 1
+            if processed > max_events:
+                raise TerminationError(
+                    f"event budget {max_events} exhausted; protocol livelock?"
+                )
+            proc = self.processes[ev.target]
+            if ev.kind is EventKind.START:
+                if self.trace is not None:
+                    self.trace.emit(TraceRecord(ev.time, "start", -1, ev.target, None))
+                proc.on_start()
+            else:
+                self._in_flight -= 1
+                clock = self._clocks[ev.target]
+                if ev.depth > clock:
+                    self._clocks[ev.target] = ev.depth
+                self.stats.record_delivery(ev.depth, ev.time)
+                if self.trace is not None:
+                    self.trace.emit(
+                        TraceRecord(ev.time, "deliver", ev.sender, ev.target, ev.payload)
+                    )
+                proc.on_message(ev.sender, ev.payload)
+            if self.monitors and processed % self.monitor_interval == 0:
+                for monitor in self.monitors:
+                    monitor(self)  # type: ignore[operator]
+        # final monitor sweep at quiescence
+        for monitor in self.monitors:
+            monitor(self)  # type: ignore[operator]
+        return SimulationReport.from_stats(self.stats, processed, quiescent=True)

@@ -1,0 +1,97 @@
+"""Node process abstraction.
+
+A protocol implements a subclass of :class:`Process` per node; the network
+instantiates one per graph node and drives it purely by events — the
+paper's model: event-driven, no timeouts, no global clock, knowledge
+limited to the node's own identity and its neighbors' identities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from ..errors import ChannelError
+from .messages import Message
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .network import Network
+
+__all__ = ["NodeContext", "Process"]
+
+
+@dataclass
+class NodeContext:
+    """What a node is allowed to see and do.
+
+    Attributes
+    ----------
+    node_id:
+        This node's identity.
+    neighbors:
+        Sorted tuple of neighbor identities (the paper allows knowing
+        neighbor ids; see §2).
+    """
+
+    node_id: int
+    neighbors: tuple[int, ...]
+    _send: Callable[[int, int, Message], None] = field(repr=False, default=None)  # type: ignore[assignment]
+    _now: Callable[[], float] = field(repr=False, default=None)  # type: ignore[assignment]
+    _mark: Callable[[str, object], None] = field(repr=False, default=None)  # type: ignore[assignment]
+
+    def send(self, dst: int, msg: Message) -> None:
+        """Send *msg* to neighbor *dst* (must be adjacent)."""
+        if dst not in self.neighbors:
+            raise ChannelError(
+                f"node {self.node_id} has no link to {dst} (neighbors: {self.neighbors})"
+            )
+        self._send(self.node_id, dst, msg)
+
+    def now(self) -> float:
+        """Current simulated time — **for annotation only**; protocols in
+        this library never branch on it (event-driven model)."""
+        return self._now()
+
+    def mark(self, label: str, value: object = None) -> None:
+        """Record a protocol annotation into the run metrics (e.g. round
+        boundaries); invisible to other nodes."""
+        self._mark(label, value)
+
+
+class Process:
+    """Base class for per-node protocol state machines.
+
+    Subclasses override :meth:`on_start` (spontaneous wake-up) and
+    :meth:`on_message`. All communication goes through ``self.ctx.send``.
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        self.ctx = ctx
+        self.terminated = False
+
+    # -- identity sugar --------------------------------------------------
+
+    @property
+    def node_id(self) -> int:
+        return self.ctx.node_id
+
+    @property
+    def neighbors(self) -> tuple[int, ...]:
+        return self.ctx.neighbors
+
+    def send(self, dst: int, msg: Message) -> None:
+        self.ctx.send(dst, msg)
+
+    def halt(self) -> None:
+        """Mark this node as protocol-terminated (for post-run assertions;
+        the simulator itself stops at quiescence)."""
+        self.terminated = True
+
+    # -- handlers ---------------------------------------------------------
+
+    def on_start(self) -> None:
+        """Called once when the node spontaneously wakes up."""
+
+    def on_message(self, sender: int, msg: Message) -> None:  # pragma: no cover
+        """Called for every delivered message."""
+        raise NotImplementedError

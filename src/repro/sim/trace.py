@@ -1,0 +1,85 @@
+"""Structured trace recording for debugging and the figure walkthroughs.
+
+Tracing is **off by default** (the simulator hot loop only pays an ``if``)
+and bounded, so enabling it on big runs cannot exhaust memory. Records are
+plain tuples rendered lazily by :func:`format_trace`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["TraceRecord", "TraceRecorder", "format_trace"]
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRecord:
+    """One trace line: a send or a delivery."""
+
+    time: float
+    action: str  # "send" | "deliver" | "start" | "note"
+    src: int
+    dst: int
+    message: Any
+
+    def render(self) -> str:
+        if self.action == "note":
+            return f"[{self.time:9.3f}] note    {self.message}"
+        arrow = {"send": "->", "deliver": "=>", "start": "**"}[self.action]
+        return (
+            f"[{self.time:9.3f}] {self.action:<7} {self.src:>4} {arrow} "
+            f"{self.dst:<4} {self.message}"
+        )
+
+
+@dataclass
+class TraceRecorder:
+    """Bounded in-memory trace sink.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum records retained (oldest dropped beyond it).
+    predicate:
+        Optional filter ``record -> bool``; rejected records are not stored.
+    """
+
+    capacity: int = 100_000
+    predicate: Callable[[TraceRecord], bool] | None = None
+    records: list[TraceRecord] = field(default_factory=list)
+    dropped: int = 0
+
+    def emit(self, rec: TraceRecord) -> None:
+        if self.predicate is not None and not self.predicate(rec):
+            return
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return
+        self.records.append(rec)
+
+    def note(self, time: float, text: str) -> None:
+        self.emit(TraceRecord(time=time, action="note", src=-1, dst=-1, message=text))
+
+    def of_type(self, type_name: str) -> list[TraceRecord]:
+        """Records whose message class name equals *type_name*."""
+        return [
+            r
+            for r in self.records
+            if r.message is not None and type(r.message).__name__ == type_name
+        ]
+
+    def between(self, t0: float, t1: float) -> list[TraceRecord]:
+        return [r for r in self.records if t0 <= r.time <= t1]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def format_trace(recorder: TraceRecorder, limit: int | None = None) -> str:
+    """Render a recorder's contents as aligned text."""
+    records = recorder.records if limit is None else recorder.records[:limit]
+    lines = [r.render() for r in records]
+    if recorder.dropped:
+        lines.append(f"... {recorder.dropped} records dropped (capacity)")
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""Common scaffolding for distributed spanning-tree construction.
+
+Every algorithm in this package satisfies the contract the paper needs
+from its startup process (§3.2): upon termination *by process* every node
+knows its parent and children in a rooted spanning tree, and knows that
+construction has finished. The tree is extracted from node state after the
+network quiesces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from ..graphs.graph import Graph
+from ..graphs.trees import RootedTree
+from ..sim.metrics import SimulationReport
+from ..sim.network import Network
+
+__all__ = ["SpanningTreeOutcome", "extract_tree"]
+
+
+@dataclass(frozen=True)
+class SpanningTreeOutcome:
+    """Result of a spanning-tree construction.
+
+    Attributes
+    ----------
+    tree:
+        The rooted spanning tree.
+    report:
+        Simulation metrics for distributed constructions; ``None`` for the
+        centralized (adversarial / reference) constructions.
+    """
+
+    tree: RootedTree
+    report: SimulationReport | None
+
+    @property
+    def degree(self) -> int:
+        """Max degree of the constructed tree (the paper's initial k)."""
+        return self.tree.max_degree()
+
+
+def extract_tree(net: Network, graph: Graph) -> RootedTree:
+    """Read ``parent`` pointers off the node processes and validate.
+
+    Raises :class:`ProtocolError` if any node lacks a decided state, if
+    parents are not graph edges, or if the result is not a spanning tree —
+    i.e. post-hoc certification of the construction.
+    """
+    parents: dict[int, int | None] = {}
+    roots = []
+    for u, proc in net.processes.items():
+        if not proc.terminated:
+            raise ProtocolError(f"node {u} did not terminate")
+        par = getattr(proc, "parent", None)
+        parents[u] = par
+        if par is None:
+            roots.append(u)
+        elif not graph.has_edge(u, par):
+            raise ProtocolError(f"node {u} claims non-edge parent {par}")
+    if len(roots) != 1:
+        raise ProtocolError(f"expected exactly one root, got {roots}")
+    tree = RootedTree(roots[0], parents)
+    if tree.n != graph.n:
+        raise ProtocolError("tree does not span the graph")
+    # children views must mirror parent views where the protocol keeps them
+    for u, proc in net.processes.items():
+        kids = getattr(proc, "children", None)
+        if kids is not None and set(kids) != tree.children(u):
+            raise ProtocolError(
+                f"node {u} children view {sorted(kids)} != tree {sorted(tree.children(u))}"
+            )
+    return tree

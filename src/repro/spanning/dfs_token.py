@@ -1,0 +1,101 @@
+"""Distributed depth-first-search spanning tree (token-based, after
+Cheung / Tel's presentation).
+
+A single TOKEN performs the depth-first traversal: a node receiving the
+token for the first time adopts the sender as parent, then forwards the
+token to its unused neighbors one at a time (smallest identity first —
+deterministic); already-visited nodes bounce the token back with
+``accept=False``. When the initiator exhausts its neighbors it broadcasts
+DONE down the tree — termination by process.
+
+Complexity: each edge carries at most 2 token transits (TOKEN + BACK),
+so O(m) messages; the traversal is inherently sequential, O(m) causal
+time. DFS trees tend to have *low* degree — a useful contrast with the
+echo tree in experiment T6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.messages import Message
+from ..sim.node import NodeContext, Process
+
+__all__ = ["Token", "Back", "DfsDone", "DfsTreeProcess", "make_dfs_factory"]
+
+
+@dataclass(frozen=True, slots=True)
+class Token(Message):
+    """The traversal token."""
+
+
+@dataclass(frozen=True, slots=True)
+class Back(Message):
+    """Token return: ``accept=True`` ⇒ sender completed a child subtree;
+    ``accept=False`` ⇒ sender was already visited (edge is a frond)."""
+
+    accept: bool
+
+
+@dataclass(frozen=True, slots=True)
+class DfsDone(Message):
+    """Initiator's completion broadcast down the tree."""
+
+
+class DfsTreeProcess(Process):
+    """Per-node state machine of the token DFS."""
+
+    def __init__(self, ctx: NodeContext, initiator: int) -> None:
+        super().__init__(ctx)
+        self.initiator = initiator
+        self.parent: int | None = None
+        self.children: set[int] = set()
+        self.visited = False
+        self.used: set[int] = set()
+
+    def _forward(self) -> None:
+        """Send the token onward, or close out this subtree."""
+        candidates = [
+            v for v in self.neighbors if v not in self.used and v != self.parent
+        ]
+        if candidates:
+            nxt = min(candidates)
+            self.used.add(nxt)
+            self.send(nxt, Token())
+        elif self.parent is not None:
+            self.send(self.parent, Back(accept=True))
+        else:
+            for c in self.children:
+                self.send(c, DfsDone())
+            self.halt()
+
+    def on_start(self) -> None:
+        if self.node_id == self.initiator and not self.visited:
+            self.visited = True
+            self._forward()
+
+    def on_message(self, sender: int, msg: Message) -> None:
+        if isinstance(msg, Token):
+            if self.visited:
+                self.send(sender, Back(accept=False))
+            else:
+                self.visited = True
+                self.parent = sender
+                self._forward()
+        elif isinstance(msg, Back):
+            if msg.accept:
+                self.children.add(sender)
+            self._forward()
+        elif isinstance(msg, DfsDone):
+            for c in self.children:
+                self.send(c, DfsDone())
+            self.halt()
+
+
+def make_dfs_factory(initiator: int):
+    """Factory closure binding the initiator identity."""
+
+    def factory(ctx: NodeContext) -> DfsTreeProcess:
+        return DfsTreeProcess(ctx, initiator)
+
+    return factory

@@ -1,0 +1,128 @@
+"""Echo with extinction: leader election + spanning tree in one wave.
+
+The echo/PIF construction (:mod:`repro.spanning.flood_bfs`) assumes a
+designated initiator. On a *named* network (the paper's model: distinct
+identities, §2) no such designation is needed: **every** node starts its
+own wave tagged with its identity; waves of smaller initiators
+*extinguish* waves of larger ones; the minimum-identity wave is the only
+one whose echoes complete, so its initiator learns it won, becomes the
+root, and broadcasts DONE. This is the classic "echo with extinction"
+algorithm (Chang 1982; Tel §7).
+
+It makes the full pipeline assumption-free: any connected named network
+→ elected root + rooted spanning tree (terminating by process) → MDegST.
+
+Contract: the winner is the minimum identity among *spontaneous*
+initiators — a node whose first event is another initiator's wave is
+captured and never competes (the classic semantics; with simultaneous
+wake-up the global minimum always wins).
+
+Complexity: O(n·m) messages worst case (n competing waves), O(diameter)
+time — the price of not having a leader, matching the classic bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.messages import Message
+from ..sim.node import NodeContext, Process
+
+__all__ = ["ElectWave", "ElectEcho", "ElectDone", "ExtinctionProcess"]
+
+
+@dataclass(frozen=True, slots=True)
+class ElectWave(Message):
+    """Forward wave of candidate *initiator*."""
+
+    initiator: int
+
+
+@dataclass(frozen=True, slots=True)
+class ElectEcho(Message):
+    """Echo for the wave of *initiator*; ``accept`` marks a child edge."""
+
+    initiator: int
+    accept: bool
+
+
+@dataclass(frozen=True, slots=True)
+class ElectDone(Message):
+    """Winner's completion broadcast down its tree."""
+
+
+class ExtinctionProcess(Process):
+    """Per-node state machine of echo-with-extinction.
+
+    ``current`` is the smallest initiator identity seen so far; state for
+    larger initiators is simply discarded (their waves are extinct here).
+    """
+
+    def __init__(self, ctx: NodeContext) -> None:
+        super().__init__(ctx)
+        self.current: int | None = None  # best (smallest) initiator known
+        self.parent: int | None = None  # parent in the current wave
+        self.children: set[int] = set()
+        self.pending = 0  # responses awaited in the current wave
+        self.done = False
+
+    # -- wave management ---------------------------------------------------
+
+    def _adopt(self, initiator: int, parent: int | None) -> None:
+        """Join (or start) the wave of *initiator* via *parent*."""
+        self.current = initiator
+        self.parent = parent
+        self.children = set()
+        targets = [v for v in self.neighbors if v != parent]
+        self.pending = len(targets)
+        for v in targets:
+            self.send(v, ElectWave(initiator=initiator))
+        if self.pending == 0:
+            self._complete()
+
+    def _complete(self) -> None:
+        if self.parent is not None:
+            self.send(self.parent, ElectEcho(initiator=self.current, accept=True))
+        elif self.current == self.node_id:
+            # our own wave completed: we are the elected root
+            self.done = True
+            for c in self.children:
+                self.send(c, ElectDone())
+            self.halt()
+
+    # -- handlers ------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self.current is None:
+            self._adopt(self.node_id, parent=None)
+
+    def on_message(self, sender: int, msg: Message) -> None:
+        if isinstance(msg, ElectWave):
+            self._on_wave(sender, msg)
+        elif isinstance(msg, ElectEcho):
+            self._on_echo(sender, msg)
+        elif isinstance(msg, ElectDone):
+            self.done = True
+            for c in self.children:
+                self.send(c, ElectDone())
+            self.halt()
+
+    def _on_wave(self, sender: int, msg: ElectWave) -> None:
+        if self.current is None or msg.initiator < self.current:
+            # a better wave extinguishes whatever we were doing
+            self._adopt(msg.initiator, parent=sender)
+        elif msg.initiator == self.current:
+            # duplicate arrival of our wave: refuse as child
+            self.send(sender, ElectEcho(initiator=msg.initiator, accept=False))
+        # msg.initiator > current: extinct — no reply; the sender's wave
+        # dies here, and the sender itself will be re-parented by a
+        # smaller wave eventually (possibly ours, already forwarded)
+
+    def _on_echo(self, sender: int, msg: ElectEcho) -> None:
+        if msg.initiator != self.current:
+            return  # echo of an extinct wave: drop
+        if msg.accept:
+            self.children.add(sender)
+        self.pending -= 1
+        if self.pending == 0:
+            self._complete()

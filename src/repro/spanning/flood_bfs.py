@@ -1,0 +1,111 @@
+"""Flooding/echo spanning tree (Segall's PIF — propagation of information
+with feedback).
+
+The initiator floods a WAVE; each node adopts the first WAVE's sender as
+its parent and forwards the wave; ECHO messages flow back up once a
+node's whole neighborhood has answered, so the initiator learns global
+completion and broadcasts DONE — termination *by process*, as the paper
+requires of its startup phase (§3.2).
+
+Under unit delays the parent relation is exactly the BFS tree from the
+initiator (ties broken towards the smaller sender id by FIFO + enqueue
+order); under other delay models it is some spanning tree, which is the
+honest asynchronous behaviour.
+
+Complexity: every edge carries at most 2 WAVEs and 2 ECHOs, plus n − 1
+DONEs — O(m) messages, O(diameter) causal time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.messages import Message
+from ..sim.node import NodeContext, Process
+
+__all__ = ["Wave", "EchoMsg", "Done", "EchoTreeProcess", "make_echo_factory"]
+
+
+@dataclass(frozen=True, slots=True)
+class Wave(Message):
+    """Forward wave carrying the initiator's identity."""
+
+    initiator: int
+
+
+@dataclass(frozen=True, slots=True)
+class EchoMsg(Message):
+    """Feedback: ``accept`` means "I am your child and my subtree is done"."""
+
+    accept: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Done(Message):
+    """Initiator's completion broadcast down the tree."""
+
+
+class EchoTreeProcess(Process):
+    """Per-node state machine of the echo construction."""
+
+    def __init__(self, ctx: NodeContext, initiator: int) -> None:
+        super().__init__(ctx)
+        self.initiator = initiator
+        self.parent: int | None = None
+        self.children: set[int] = set()
+        self.joined = False
+        self.pending = 0  # responses still expected
+
+    # -- helpers ---------------------------------------------------------
+
+    def _join(self, parent: int | None) -> None:
+        """Adopt *parent* (None for the initiator) and flood onward."""
+        self.joined = True
+        self.parent = parent
+        targets = [v for v in self.neighbors if v != parent]
+        self.pending = len(targets)
+        for v in targets:
+            self.send(v, Wave(initiator=self.initiator))
+        if self.pending == 0:
+            self._complete()
+
+    def _complete(self) -> None:
+        """Subtree finished: echo up, or finish globally at the root."""
+        if self.parent is not None:
+            self.send(self.parent, EchoMsg(accept=True))
+        else:
+            for c in self.children:
+                self.send(c, Done())
+            self.halt()
+
+    # -- handlers -----------------------------------------------------------
+
+    def on_start(self) -> None:
+        if self.node_id == self.initiator and not self.joined:
+            self._join(parent=None)
+
+    def on_message(self, sender: int, msg: Message) -> None:
+        if isinstance(msg, Wave):
+            if not self.joined:
+                self._join(parent=sender)
+            else:
+                self.send(sender, EchoMsg(accept=False))
+        elif isinstance(msg, EchoMsg):
+            if msg.accept:
+                self.children.add(sender)
+            self.pending -= 1
+            if self.pending == 0:
+                self._complete()
+        elif isinstance(msg, Done):
+            for c in self.children:
+                self.send(c, Done())
+            self.halt()
+
+
+def make_echo_factory(initiator: int):
+    """Factory closure binding the initiator identity."""
+
+    def factory(ctx: NodeContext) -> EchoTreeProcess:
+        return EchoTreeProcess(ctx, initiator)
+
+    return factory

@@ -1,0 +1,371 @@
+"""Gallager–Humblet–Spira distributed minimum-weight spanning tree.
+
+Full asynchronous GHS (ACM TOPLAS 1983) — the reference [4] of the paper
+and the classic choice for its startup phase. Fragments at level L merge
+over their common minimum outgoing edge (level L+1) or absorb lower-level
+fragments; outgoing edges are located with TEST/ACCEPT/REJECT, minima are
+aggregated with REPORT, and the core relocates via CHANGE-ROOT + CONNECT.
+
+Implementation notes
+--------------------
+* Edge weights are made distinct by lexicographic tie-breaking
+  ``(weight, min_id, max_id)`` — GHS requires unique weights.
+* The pseudocode's "place message at end of queue" is implemented with an
+  explicit deferred list retried after every state change (multi-pass
+  until no progress), which is equivalent and avoids self-messaging.
+* GHS as published halts only at the two core nodes. To terminate *by
+  process* (required by §3.2 of Blin–Butelle), the smaller-identity core
+  node roots the tree at itself and broadcasts ``GhsDone`` over branch
+  edges; every node then knows its parent, children, and that
+  construction has finished.
+
+Complexity: O(n log n + m) messages (classic bound), and the produced
+tree is the unique MST under the tie-broken weights — verified against
+Kruskal in the test suite.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..errors import ProtocolError
+from ..graphs.graph import Graph
+from ..sim.messages import Message
+from ..sim.node import NodeContext, Process
+
+__all__ = [
+    "Connect",
+    "Initiate",
+    "Test",
+    "Accept",
+    "Reject",
+    "Report",
+    "ChangeRoot",
+    "GhsDone",
+    "GhsProcess",
+    "make_ghs_factory",
+]
+
+#: Effective edge weight: (weight, lo_id, hi_id) — always distinct.
+Weight = tuple[float, int, int]
+
+
+class _NodeState(enum.Enum):
+    SLEEPING = 0
+    FIND = 1
+    FOUND = 2
+
+
+class _EdgeState(enum.Enum):
+    BASIC = 0
+    BRANCH = 1
+    REJECTED = 2
+
+
+# -- messages (weights travel as 3-tuples; None = infinity) -------------------
+
+
+@dataclass(frozen=True, slots=True)
+class Connect(Message):
+    level: int
+
+
+@dataclass(frozen=True, slots=True)
+class Initiate(Message):
+    level: int
+    fragment: Weight
+    find: bool
+
+
+@dataclass(frozen=True, slots=True)
+class Test(Message):
+    level: int
+    fragment: Weight
+
+
+@dataclass(frozen=True, slots=True)
+class Accept(Message):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Reject(Message):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class Report(Message):
+    best: Weight | None  # None = no outgoing edge (infinity)
+
+
+@dataclass(frozen=True, slots=True)
+class ChangeRoot(Message):
+    pass
+
+
+@dataclass(frozen=True, slots=True)
+class GhsDone(Message):
+    pass
+
+
+_INF: Weight = (float("inf"), -1, -1)
+
+
+class GhsProcess(Process):
+    """Per-node GHS state machine."""
+
+    def __init__(self, ctx: NodeContext, weights: dict[int, Weight]) -> None:
+        super().__init__(ctx)
+        #: effective weight of the edge to each neighbor
+        self.weights = weights
+        self.state = _NodeState.SLEEPING
+        self.level = 0
+        self.fragment: Weight | None = None
+        self.edge_state: dict[int, _EdgeState] = {
+            v: _EdgeState.BASIC for v in ctx.neighbors
+        }
+        self.in_branch: int | None = None
+        self.best_edge: int | None = None
+        self.best_wt: Weight = _INF
+        self.test_edge: int | None = None
+        self.find_count = 0
+        self.deferred: list[tuple[int, Message]] = []
+        self.halted = False
+        # final tree view
+        self.parent: int | None = None
+        self.children: set[int] = set()
+
+    # -- helpers ---------------------------------------------------------
+
+    def _wt(self, v: int) -> Weight:
+        return self.weights[v]
+
+    def _min_basic_edge(self) -> int | None:
+        basics = [
+            v for v, s in self.edge_state.items() if s is _EdgeState.BASIC
+        ]
+        if not basics:
+            return None
+        return min(basics, key=self._wt)
+
+    def _wakeup(self) -> None:
+        if self.state is not _NodeState.SLEEPING:
+            return
+        m = min(self.edge_state, key=self._wt)
+        self.edge_state[m] = _EdgeState.BRANCH
+        self.level = 0
+        self.state = _NodeState.FOUND
+        self.find_count = 0
+        self.send(m, Connect(level=0))
+
+    # -- dispatch with deferral -----------------------------------------------
+
+    def on_start(self) -> None:
+        self._wakeup()
+
+    def on_message(self, sender: int, msg: Message) -> None:
+        if self.halted and not isinstance(msg, GhsDone):
+            raise ProtocolError(f"node {self.node_id} got {msg} after halting")
+        if not self._dispatch(sender, msg):
+            self.deferred.append((sender, msg))
+        else:
+            self._drain_deferred()
+
+    def _drain_deferred(self) -> None:
+        progress = True
+        while progress and self.deferred:
+            progress = False
+            pending, self.deferred = self.deferred, []
+            for s, m in pending:
+                if self._dispatch(s, m):
+                    progress = True
+                else:
+                    self.deferred.append((s, m))
+
+    def _dispatch(self, sender: int, msg: Message) -> bool:
+        """Handle *msg*; return False to defer."""
+        if isinstance(msg, Connect):
+            return self._on_connect(sender, msg)
+        if isinstance(msg, Initiate):
+            return self._on_initiate(sender, msg)
+        if isinstance(msg, Test):
+            return self._on_test(sender, msg)
+        if isinstance(msg, Accept):
+            return self._on_accept(sender)
+        if isinstance(msg, Reject):
+            return self._on_reject(sender)
+        if isinstance(msg, Report):
+            return self._on_report(sender, msg)
+        if isinstance(msg, ChangeRoot):
+            self._change_root()
+            return True
+        if isinstance(msg, GhsDone):
+            self._on_done(sender)
+            return True
+        raise ProtocolError(f"GHS got unknown message {msg!r}")
+
+    # -- handlers (classic pseudocode) ----------------------------------------
+
+    def _on_connect(self, j: int, msg: Connect) -> bool:
+        self._wakeup()
+        if msg.level < self.level:
+            # absorb the lower-level fragment
+            self.edge_state[j] = _EdgeState.BRANCH
+            assert self.fragment is not None
+            self.send(
+                j,
+                Initiate(
+                    level=self.level,
+                    fragment=self.fragment,
+                    find=self.state is _NodeState.FIND,
+                ),
+            )
+            if self.state is _NodeState.FIND:
+                self.find_count += 1
+            return True
+        if self.edge_state[j] is _EdgeState.BASIC:
+            return False  # defer: merge or absorb not decidable yet
+        # merge: new fragment at level + 1, named by the core edge weight
+        self.send(
+            j,
+            Initiate(level=self.level + 1, fragment=self._wt(j), find=True),
+        )
+        return True
+
+    def _on_initiate(self, j: int, msg: Initiate) -> bool:
+        self.level = msg.level
+        self.fragment = msg.fragment
+        self.state = _NodeState.FIND if msg.find else _NodeState.FOUND
+        self.in_branch = j
+        self.best_edge = None
+        self.best_wt = _INF
+        for i, s in self.edge_state.items():
+            if i != j and s is _EdgeState.BRANCH:
+                self.send(i, Initiate(level=msg.level, fragment=msg.fragment, find=msg.find))
+                if msg.find:
+                    self.find_count += 1
+        if msg.find:
+            self._test()
+        return True
+
+    def _test(self) -> None:
+        edge = self._min_basic_edge()
+        if edge is None:
+            self.test_edge = None
+            self._report()
+        else:
+            self.test_edge = edge
+            assert self.fragment is not None
+            self.send(edge, Test(level=self.level, fragment=self.fragment))
+
+    def _on_test(self, j: int, msg: Test) -> bool:
+        self._wakeup()
+        if msg.level > self.level:
+            return False  # defer until our level catches up
+        if msg.fragment != self.fragment:
+            self.send(j, Accept())
+            return True
+        if self.edge_state[j] is _EdgeState.BASIC:
+            self.edge_state[j] = _EdgeState.REJECTED
+        if self.test_edge != j:
+            self.send(j, Reject())
+        else:
+            self._test()
+        return True
+
+    def _on_accept(self, j: int) -> bool:
+        self.test_edge = None
+        if self._wt(j) < self.best_wt:
+            self.best_edge = j
+            self.best_wt = self._wt(j)
+        self._report()
+        return True
+
+    def _on_reject(self, j: int) -> bool:
+        if self.edge_state[j] is _EdgeState.BASIC:
+            self.edge_state[j] = _EdgeState.REJECTED
+        self._test()
+        return True
+
+    def _report(self) -> None:
+        if self.find_count == 0 and self.test_edge is None:
+            self.state = _NodeState.FOUND
+            assert self.in_branch is not None
+            best = None if self.best_wt == _INF else self.best_wt
+            self.send(self.in_branch, Report(best=best))
+
+    def _on_report(self, j: int, msg: Report) -> bool:
+        w = _INF if msg.best is None else msg.best
+        if j != self.in_branch:
+            self.find_count -= 1
+            if w < self.best_wt:
+                self.best_wt = w
+                self.best_edge = j
+            self._report()
+            return True
+        if self.state is _NodeState.FIND:
+            return False  # defer until our own search concludes
+        if w > self.best_wt:
+            self._change_root()
+        elif w == _INF and self.best_wt == _INF:
+            self._halt_core(j)
+        return True
+
+    def _change_root(self) -> None:
+        assert self.best_edge is not None
+        if self.edge_state[self.best_edge] is _EdgeState.BRANCH:
+            self.send(self.best_edge, ChangeRoot())
+        else:
+            self.send(self.best_edge, Connect(level=self.level))
+            self.edge_state[self.best_edge] = _EdgeState.BRANCH
+
+    # -- termination by process --------------------------------------------
+
+    def _branch_neighbors(self) -> set[int]:
+        return {v for v, s in self.edge_state.items() if s is _EdgeState.BRANCH}
+
+    def _halt_core(self, core_neighbor: int) -> None:
+        """MST complete; detected at both core endpoints."""
+        if self.deferred:
+            raise ProtocolError(
+                f"node {self.node_id} halts with deferred messages {self.deferred}"
+            )
+        self.halted = True
+        if self.node_id < core_neighbor:
+            # smaller-identity core node roots the tree and announces
+            self.parent = None
+            self.children = self._branch_neighbors()
+            for c in self.children:
+                self.send(c, GhsDone())
+            self.halt()
+        # else: wait for GhsDone from the other core node
+
+    def _on_done(self, sender: int) -> None:
+        self.halted = True
+        self.parent = sender
+        self.children = self._branch_neighbors() - {sender}
+        for c in self.children:
+            self.send(c, GhsDone())
+        self.halt()
+
+
+def effective_weights(graph: Graph) -> dict[int, dict[int, Weight]]:
+    """Per-node neighbor → distinct effective weight maps for *graph*."""
+    out: dict[int, dict[int, Weight]] = {}
+    for u in graph.nodes():
+        out[u] = {}
+        for v in graph.neighbors(u):
+            lo, hi = (u, v) if u < v else (v, u)
+            out[u][v] = (graph.weight(u, v), lo, hi)
+    return out
+
+
+def make_ghs_factory(graph: Graph):
+    """Factory closure precomputing tie-broken weights from *graph*."""
+    table = effective_weights(graph)
+
+    def factory(ctx: NodeContext) -> GhsProcess:
+        return GhsProcess(ctx, table[ctx.node_id])
+
+    return factory

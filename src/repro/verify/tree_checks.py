@@ -1,0 +1,33 @@
+"""Structural certification of spanning trees."""
+
+from __future__ import annotations
+
+from ..errors import VerificationError
+from ..graphs.graph import Graph
+from ..graphs.trees import RootedTree
+
+__all__ = ["assert_spanning_tree", "assert_degree_not_worse"]
+
+
+def assert_spanning_tree(graph: Graph, tree: RootedTree) -> None:
+    """Raise :class:`VerificationError` unless *tree* is a spanning tree
+    of *graph* (right node set, n−1 graph edges, connected/acyclic —
+    the last two are guaranteed by the ``RootedTree`` constructor)."""
+    if set(tree.nodes()) != set(graph.nodes()):
+        missing = set(graph.nodes()) - set(tree.nodes())
+        extra = set(tree.nodes()) - set(graph.nodes())
+        raise VerificationError(
+            f"node set mismatch (missing={sorted(missing)[:5]},"
+            f" extra={sorted(extra)[:5]})"
+        )
+    for u, v in tree.edges():
+        if not graph.has_edge(u, v):
+            raise VerificationError(f"tree edge {(u, v)} is not a graph edge")
+
+
+def assert_degree_not_worse(initial: RootedTree, final: RootedTree) -> None:
+    """The protocol must never increase the maximum degree."""
+    if final.max_degree() > initial.max_degree():
+        raise VerificationError(
+            f"degree increased: {initial.max_degree()} -> {final.max_degree()}"
+        )

@@ -1,0 +1,16 @@
+"""ASCII visualization (trees, graphs, protocol traces)."""
+
+from .ascii_graph import graph_summary, render_adjacency
+from .ascii_tree import render_degree_histogram, render_tree
+from .trace_view import phase_timeline, round_narrative
+from .trajectory import render_trajectory
+
+__all__ = [
+    "render_tree",
+    "render_degree_histogram",
+    "graph_summary",
+    "render_adjacency",
+    "phase_timeline",
+    "round_narrative",
+    "render_trajectory",
+]

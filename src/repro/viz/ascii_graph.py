@@ -1,0 +1,45 @@
+"""ASCII summaries of graphs."""
+
+from __future__ import annotations
+
+from ..graphs.graph import Graph
+
+__all__ = ["graph_summary", "render_adjacency"]
+
+
+def graph_summary(graph: Graph) -> str:
+    """One-paragraph structural digest of a graph."""
+    if graph.n == 0:
+        return "empty graph"
+    degs = sorted(graph.degree(u) for u in graph.nodes())
+    mean = sum(degs) / len(degs)
+    lines = [
+        f"n={graph.n} m={graph.m}",
+        f"degree: min={degs[0]} mean={mean:.2f} max={degs[-1]}",
+    ]
+    hist = graph.degree_histogram()
+    peak = max(hist.values())
+    for d in sorted(hist):
+        bar = "#" * max(1, round(30 * hist[d] / peak))
+        lines.append(f"  deg {d:>3}: {hist[d]:>4}  {bar}")
+    return "\n".join(lines)
+
+
+def render_adjacency(graph: Graph, max_nodes: int = 32) -> str:
+    """Adjacency matrix art for small graphs (■ edge, · no edge)."""
+    nodes = graph.nodes()
+    if len(nodes) > max_nodes:
+        return f"(adjacency omitted: {len(nodes)} > {max_nodes} nodes)"
+    header = "    " + " ".join(f"{u:>2}" for u in nodes)
+    lines = [header]
+    for u in nodes:
+        row = [f"{u:>3} "]
+        for v in nodes:
+            if u == v:
+                row.append(" ·")
+            elif graph.has_edge(u, v):
+                row.append(" ■")
+            else:
+                row.append("  ")
+        lines.append("".join(row))
+    return "\n".join(lines)

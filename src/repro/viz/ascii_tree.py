@@ -1,0 +1,53 @@
+"""ASCII rendering of rooted trees (no plotting dependency offline)."""
+
+from __future__ import annotations
+
+from ..graphs.trees import RootedTree
+
+__all__ = ["render_tree", "render_degree_histogram"]
+
+
+def render_tree(tree: RootedTree, *, max_depth: int | None = None) -> str:
+    """Render a rooted tree with box-drawing characters.
+
+    Degree-annotated: every node shows its tree degree, and maximum-degree
+    nodes are flagged with ``*`` (the nodes the protocol attacks).
+    """
+    k = tree.max_degree() if tree.n > 1 else 0
+    lines: list[str] = []
+
+    def label(u: int) -> str:
+        d = tree.degree(u)
+        flag = " *" if tree.n > 1 and d == k else ""
+        return f"{u} (deg {d}){flag}"
+
+    def walk(u: int, prefix: str, is_last: bool, depth: int) -> None:
+        if depth == 0:
+            lines.append(label(u))
+        else:
+            connector = "└── " if is_last else "├── "
+            lines.append(prefix + connector + label(u))
+        if max_depth is not None and depth >= max_depth:
+            if tree.children(u):
+                ext = prefix + ("    " if is_last else "│   ")
+                lines.append(ext + f"... ({len(tree.subtree(u)) - 1} below)")
+            return
+        kids = sorted(tree.children(u))
+        for i, c in enumerate(kids):
+            ext = "" if depth == 0 else prefix + ("    " if is_last else "│   ")
+            walk(c, ext, i == len(kids) - 1, depth + 1)
+
+    walk(tree.root, "", True, 0)
+    return "\n".join(lines)
+
+
+def render_degree_histogram(tree: RootedTree, width: int = 40) -> str:
+    """Horizontal bar chart of the tree's degree distribution."""
+    hist = tree.degree_histogram()
+    peak = max(hist.values())
+    lines = ["degree  count"]
+    for d in sorted(hist):
+        count = hist[d]
+        bar = "#" * max(1, round(width * count / peak))
+        lines.append(f"{d:>6}  {count:>5}  {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,53 @@
+"""Protocol-aware trace rendering: show one round's phases (the Figure 1 /
+Figure 2 walkthroughs in examples/)."""
+
+from __future__ import annotations
+
+from ..sim.trace import TraceRecorder
+
+__all__ = ["phase_timeline", "round_narrative"]
+
+_PHASE_OF = {
+    "Search": "1 SearchDegree",
+    "DegreeReport": "1 SearchDegree",
+    "MoveRoot": "2 MoveRoot",
+    "MoveRootAck": "2 MoveRoot",
+    "Cut": "3 Cut",
+    "BfsWave": "3 BFS wave",
+    "CousinReply": "3 BFS wave",
+    "WaveEcho": "3 BFS back",
+    "Update": "4 Choose/update",
+    "ChildMsg": "4 Choose/update",
+    "ChildAck": "4 Choose/update",
+    "FlipBack": "4 Choose/update",
+    "ExchangeDone": "4 Choose/update",
+    "ImproveReport": "5 Barrier",
+    "Terminate": "6 Terminate",
+}
+
+
+def phase_timeline(trace: TraceRecorder) -> str:
+    """Chronological list of sends annotated with the paper's phase."""
+    lines = []
+    for rec in trace.records:
+        if rec.action != "send" or rec.message is None:
+            continue
+        phase = _PHASE_OF.get(type(rec.message).__name__, "?")
+        lines.append(
+            f"[{rec.time:8.2f}] {phase:<16} {rec.src:>3} -> {rec.dst:<3} {rec.message}"
+        )
+    return "\n".join(lines)
+
+
+def round_narrative(trace: TraceRecorder) -> str:
+    """Per-phase message counts — a compact view of Figure 2's wave."""
+    counts: dict[str, int] = {}
+    for rec in trace.records:
+        if rec.action != "send" or rec.message is None:
+            continue
+        phase = _PHASE_OF.get(type(rec.message).__name__, "?")
+        counts[phase] = counts.get(phase, 0) + 1
+    lines = ["phase                sends"]
+    for phase in sorted(counts):
+        lines.append(f"{phase:<20} {counts[phase]:>5}")
+    return "\n".join(lines)

@@ -1,0 +1,31 @@
+"""ASCII rendering of a run's degree trajectory across rounds."""
+
+from __future__ import annotations
+
+from ..mdst.result import MDSTResult
+
+__all__ = ["render_trajectory"]
+
+
+def render_trajectory(result: MDSTResult, width: int = 50) -> str:
+    """Plot k (max tree degree) per round as a horizontal bar chart,
+    annotated with mode and improvements — the k-descent the paper's
+    round analysis describes."""
+    if not result.rounds:
+        return (
+            f"no improvement rounds (k = {result.final_degree} "
+            "already at/below the target)"
+        )
+    k_max = result.initial_degree
+    lines = [f"round  k  mode        improved  ({'#' * 3} = degree level)"]
+    for r in result.rounds:
+        bar = "#" * max(1, round(width * r.k / k_max))
+        lines.append(
+            f"{r.index:>5}  {r.k:>2} {r.mode:<11} {r.improved:>8}  {bar}"
+        )
+    lines.append(
+        f"final  {result.final_degree:>2} "
+        f"{'':<11} {'':>8}  "
+        + "#" * max(1, round(width * result.final_degree / k_max))
+    )
+    return "\n".join(lines)

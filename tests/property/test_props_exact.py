@@ -1,0 +1,50 @@
+"""Property tests tying the exact solver, F-R and Theorem 1 together."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs import gnp_connected, min_degree_lower_bound
+from repro.sequential import (
+    fuerer_raghavachari,
+    optimal_degree,
+    spanning_tree_with_max_degree,
+)
+from repro.spanning import greedy_hub_tree, random_spanning_tree
+from repro.verify import certified_within_one
+
+small_sizes = st.integers(min_value=3, max_value=11)
+seeds = st.integers(min_value=0, max_value=5_000)
+densities = st.floats(min_value=0.15, max_value=0.8, allow_nan=False)
+
+
+class TestExactProperties:
+    @given(small_sizes, densities, seeds)
+    @settings(max_examples=30, deadline=None)
+    def test_exact_respects_lower_bound_and_feasibility(self, n, p, seed):
+        g = gnp_connected(n, p, seed=seed)
+        opt = optimal_degree(g)
+        assert opt >= min_degree_lower_bound(g)
+        tree = spanning_tree_with_max_degree(g, opt)
+        assert tree is not None and tree.max_degree() <= opt
+        if opt > 1:
+            assert spanning_tree_with_max_degree(g, opt - 1) is None
+
+    @given(small_sizes, densities, seeds, seeds)
+    @settings(max_examples=25, deadline=None)
+    def test_fr_guarantee_against_ground_truth(self, n, p, gseed, tseed):
+        """The Fürer–Raghavachari theorem, checked end to end: from any
+        initial tree, the final degree is ≤ Δ* + 1 and the fixpoint is
+        certified by Theorem 1's condition."""
+        g = gnp_connected(n, p, seed=gseed)
+        t0 = random_spanning_tree(g, seed=tseed)
+        final, _stats = fuerer_raghavachari(g, t0)
+        opt = optimal_degree(g)
+        assert opt <= final.max_degree() <= opt + 1
+        assert certified_within_one(g, final)
+
+    @given(small_sizes, densities, seeds)
+    @settings(max_examples=20, deadline=None)
+    def test_greedy_hub_never_below_optimal(self, n, p, seed):
+        g = gnp_connected(n, p, seed=seed)
+        t = greedy_hub_tree(g)
+        assert t.max_degree() >= optimal_degree(g)

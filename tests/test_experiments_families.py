@@ -1,0 +1,135 @@
+"""Tests for the new graph families and the experiment presets."""
+
+import pytest
+
+from repro.analysis import EXPERIMENTS, run_experiment
+from repro.cli import main
+from repro.errors import AnalysisError, GraphError
+from repro.graphs import (
+    barbell,
+    circulant,
+    complete_bipartite,
+    is_connected,
+    make_family,
+    min_degree_lower_bound,
+)
+from repro.mdst import run_mdst
+from repro.sequential import optimal_degree
+from repro.spanning import greedy_hub_tree
+
+
+class TestCompleteBipartite:
+    def test_structure(self):
+        g = complete_bipartite(2, 5)
+        assert g.n == 7 and g.m == 10
+        assert is_connected(g)
+        assert g.degree(0) == 5 and g.degree(3) == 2
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            complete_bipartite(0, 3)
+
+    def test_forced_degree_optimum(self):
+        # K_{2,6}: 7 tree edges land on 2 left nodes -> some left node
+        # has tree degree >= ceil(7/2) = 4... actually >= 3 by pigeonhole
+        g = complete_bipartite(2, 6)
+        opt = optimal_degree(g)
+        assert opt >= 3  # far above the trivial 2
+        res = run_mdst(g, greedy_hub_tree(g))
+        assert res.final_degree <= opt + 1
+
+    def test_star_case(self):
+        g = complete_bipartite(1, 5)
+        assert min_degree_lower_bound(g) == 5
+
+
+class TestBarbell:
+    def test_structure(self):
+        g = barbell(4, 2)
+        assert g.n == 10
+        assert is_connected(g)
+        # bridge nodes are cut vertices with degree 2
+        assert g.degree(4) == 2 and g.degree(5) == 2
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            barbell(2, 1)
+
+    def test_mdst_runs(self):
+        g = barbell(5, 3)
+        res = run_mdst(g, greedy_hub_tree(g), check_invariants=True)
+        assert res.final_tree.is_spanning_tree_of(g)
+
+
+class TestCirculant:
+    def test_structure(self):
+        g = circulant(8, (1, 2))
+        assert g.n == 8
+        assert all(g.degree(u) == 4 for u in g.nodes())
+        assert is_connected(g)
+
+    def test_validation(self):
+        with pytest.raises(GraphError):
+            circulant(2)
+        with pytest.raises(GraphError):
+            circulant(5, (0,))
+        with pytest.raises(GraphError):
+            circulant(5, ())
+
+    def test_hamiltonian_so_optimal_two(self):
+        g = circulant(10, (1, 3))
+        assert optimal_degree(g) == 2
+
+    def test_mdst_reaches_low_degree(self):
+        g = circulant(12, (1, 2, 3))
+        res = run_mdst(g, greedy_hub_tree(g))
+        assert res.final_degree <= 3
+
+
+class TestFamilyRegistry:
+    @pytest.mark.parametrize("name", ["bipartite", "barbell", "circulant"])
+    def test_registered(self, name):
+        g = make_family(name, 18, seed=0)
+        assert is_connected(g)
+
+
+class TestExperimentPresets:
+    def test_all_presets_listed(self):
+        assert set(EXPERIMENTS) == {"t1", "t2", "t3", "t4", "t5", "t6", "t8"}
+
+    def test_unknown_raises(self):
+        with pytest.raises(AnalysisError):
+            run_experiment("t99")
+        with pytest.raises(AnalysisError):
+            run_experiment("t1", scale=0)
+
+    def test_t1_preset(self):
+        text, payload = run_experiment("t1")
+        assert "T1" in text
+        assert all(payload["holds"])
+
+    def test_t2_preset(self):
+        text, payload = run_experiment("t2")
+        assert payload["fit"].r_squared > 0.9
+
+    def test_t4_preset(self):
+        text, payload = run_experiment("t4")
+        for claim, conc, single in payload["rows"]:
+            assert conc <= 2 * claim + 2
+
+    def test_t5_preset(self):
+        text, payload = run_experiment("t5")
+        assert all(r > 1 for r in payload["ratios"])  # above the bound
+
+    def test_t6_preset(self):
+        text, payload = run_experiment("t6")
+        res = payload["results"]
+        assert res["dfs"].messages <= res["greedy_hub"].messages
+
+    def test_t8_preset(self):
+        text, payload = run_experiment("t8")
+        assert all(0 <= g <= 1 for g in payload["gaps"])
+
+    def test_cli_experiment(self, capsys):
+        assert main(["experiment", "t5"]) == 0
+        assert "Korach" in capsys.readouterr().out

@@ -1,0 +1,145 @@
+"""Tests for echo-with-extinction (leader election) and fault injection."""
+
+import pytest
+
+from repro.errors import ProtocolError, TerminationError
+from repro.graphs import (
+    complete,
+    gnp_connected,
+    grid,
+    path_graph,
+    random_geometric,
+    ring,
+)
+from repro.mdst import run_mdst
+from repro.sim import (
+    ExponentialDelay,
+    Network,
+    PerLinkDelay,
+    UniformDelay,
+    all_terminated_at_quiescence,
+    crash_after,
+    drop_messages,
+    wrap_factory,
+)
+from repro.spanning import ExtinctionProcess, build_spanning_tree
+from repro.spanning.flood_bfs import make_echo_factory
+
+GRAPHS = {
+    "ring9": ring(9),
+    "grid3x4": grid(3, 4),
+    "k7": complete(7),
+    "gnp": gnp_connected(18, 0.25, seed=4),
+    "geo": random_geometric(15, 0.5, seed=5),
+}
+
+
+class TestExtinction:
+    @pytest.mark.parametrize("gname", sorted(GRAPHS))
+    def test_elects_minimum_id_and_spans(self, gname):
+        g = GRAPHS[gname]
+        out = build_spanning_tree(g, method="election")
+        assert out.tree.is_spanning_tree_of(g)
+        assert out.tree.root == min(g.nodes())  # smallest identity wins
+
+    @pytest.mark.parametrize("gname", sorted(GRAPHS))
+    def test_robust_to_delays(self, gname):
+        g = GRAPHS[gname]
+        for delay in (UniformDelay(), ExponentialDelay(), PerLinkDelay()):
+            for seed in (1, 2):
+                out = build_spanning_tree(
+                    g, method="election", delay=delay, seed=seed
+                )
+                assert out.tree.is_spanning_tree_of(g)
+                assert out.tree.root == min(g.nodes())
+
+    def test_staggered_starts(self):
+        """Classic contract: the winner is the minimum identity among
+        *spontaneous* initiators — a node captured by another wave before
+        waking does not compete (Tel §7). Here node 0 sleeps until t=50,
+        so node 1 wins."""
+        g = ring(8)
+        net = Network(
+            g,
+            ExtinctionProcess,
+            start_times={0: 50.0},
+            monitors=[all_terminated_at_quiescence()],
+        )
+        net.run()
+        from repro.spanning import extract_tree
+
+        tree = extract_tree(net, g)
+        assert tree.root == 1
+        assert tree.is_spanning_tree_of(g)
+
+    def test_message_bound(self):
+        g = gnp_connected(16, 0.3, seed=6)
+        out = build_spanning_tree(g, method="election")
+        # n competing waves, each O(m): generous O(n*m) envelope
+        assert out.report.total_messages <= 4 * g.n * g.m
+
+    def test_feeds_mdst_pipeline(self):
+        """Full assumption-free pipeline: election startup -> protocol."""
+        g = GRAPHS["gnp"]
+        out = build_spanning_tree(g, method="election")
+        res = run_mdst(g, out.tree, seed=0)
+        assert res.final_tree.is_spanning_tree_of(g)
+        assert res.final_degree <= out.degree
+
+    def test_two_nodes(self):
+        out = build_spanning_tree(path_graph(2), method="election")
+        assert out.tree.root == 0 and out.tree.n == 2
+
+
+class TestFaultInjection:
+    """The paper's reliability assumption is load-bearing: faults stall
+    the protocol loudly instead of corrupting the tree silently."""
+
+    def test_crashed_node_stalls_echo(self):
+        g = path_graph(4)
+        factory = wrap_factory(make_echo_factory(0), {2: crash_after(0)})
+        net = Network(g, factory, monitors=[all_terminated_at_quiescence()])
+        # the wave dies at node 2: quiescence with unterminated nodes
+        with pytest.raises((ProtocolError, TerminationError)):
+            net.run(max_events=10_000)
+
+    def test_crash_after_some_progress(self):
+        g = ring(6)
+        factory = wrap_factory(make_echo_factory(0), {3: crash_after(1)})
+        net = Network(g, factory, monitors=[all_terminated_at_quiescence()])
+        with pytest.raises((ProtocolError, TerminationError)):
+            net.run(max_events=10_000)
+
+    def test_lossy_link_stalls_election(self):
+        g = ring(6)
+        factory = wrap_factory(
+            ExtinctionProcess, {0: drop_messages(1.0)}  # winner mute
+        )
+        net = Network(g, factory, monitors=[all_terminated_at_quiescence()])
+        with pytest.raises((ProtocolError, TerminationError)):
+            net.run(max_events=10_000)
+
+    def test_no_fault_no_effect(self):
+        g = ring(6)
+        factory = wrap_factory(ExtinctionProcess, {})
+        net = Network(g, factory, monitors=[all_terminated_at_quiescence()])
+        net.run()  # clean run unaffected by the wrapper
+
+    def test_drop_probability_validation(self):
+        with pytest.raises(ValueError):
+            drop_messages(1.5)
+
+    def test_partial_loss_is_deterministic(self):
+        g = complete(5)
+        runs = []
+        for _ in range(2):
+            factory = wrap_factory(
+                ExtinctionProcess, {1: drop_messages(0.5, seed=3)}
+            )
+            net = Network(g, factory)
+            try:
+                report = net.run(max_events=20_000)
+                runs.append(report.total_messages)
+            except (ProtocolError, TerminationError):
+                runs.append(-1)
+        assert runs[0] == runs[1]

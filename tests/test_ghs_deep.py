@@ -1,0 +1,119 @@
+"""Deeper GHS tests: staggered wake-ups, deferred-message paths, weight
+determinism, and level growth."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.graphs import (
+    Graph,
+    complete,
+    gnp_connected,
+    grid,
+    path_graph,
+    ring,
+)
+from repro.sim import ExponentialDelay, Network, TraceRecorder, UniformDelay
+from repro.spanning import extract_tree, kruskal_mst, make_ghs_factory
+from repro.spanning.ghs import GhsProcess
+
+
+def _run_ghs(graph, *, start_times=None, delay=None, seed=0, trace=None):
+    net = Network(
+        graph,
+        make_ghs_factory(graph),
+        start_times=start_times,
+        delay=delay,
+        seed=seed,
+        trace=trace,
+    )
+    report = net.run()
+    return extract_tree(net, graph), report, net
+
+
+class TestStaggeredStarts:
+    def test_one_late_node(self):
+        g = gnp_connected(14, 0.35, seed=1)
+        tree, _report, _net = _run_ghs(g, start_times={g.nodes()[0]: 100.0})
+        assert sorted(tree.edges()) == sorted(kruskal_mst(g).edges())
+
+    def test_all_staggered(self):
+        g = grid(3, 4)
+        starts = {u: float(3 * i) for i, u in enumerate(g.nodes())}
+        tree, _report, _net = _run_ghs(g, start_times=starts)
+        assert sorted(tree.edges()) == sorted(kruskal_mst(g).edges())
+
+    def test_staggered_with_random_delays(self):
+        g = gnp_connected(12, 0.4, seed=3)
+        starts = {u: float(u % 5) for u in g.nodes()}
+        for seed in range(4):
+            tree, _r, _n = _run_ghs(
+                g, start_times=starts, delay=ExponentialDelay(), seed=seed
+            )
+            assert sorted(tree.edges()) == sorted(kruskal_mst(g).edges())
+
+
+class TestDeferredPaths:
+    def test_deferred_messages_exercised(self):
+        """Under random delays on a dense graph, the Test-defer and
+        Connect-defer branches fire; all deferred queues must drain."""
+        g = complete(10)
+        tree, _report, net = _run_ghs(g, delay=UniformDelay(), seed=5)
+        for u in g.nodes():
+            proc = net.node(u)
+            assert isinstance(proc, GhsProcess)
+            assert proc.deferred == []
+            assert proc.halted
+        assert tree.max_degree() >= 1
+
+    def test_message_after_halt_rejected(self):
+        g = path_graph(2)
+        _tree, _report, net = _run_ghs(g)
+        proc = net.node(0)
+        from repro.spanning.ghs import Test
+
+        with pytest.raises(ProtocolError):
+            proc.on_message(1, Test(level=0, fragment=(1.0, 0, 1)))
+
+
+class TestWeights:
+    def test_tie_breaking_is_deterministic(self):
+        """Uniform weights: the MST is the lexicographically smallest
+        edge set, identical across delay models."""
+        g = ring(9)
+        expected = sorted(kruskal_mst(g).edges())
+        for delay in (None, UniformDelay(), ExponentialDelay()):
+            tree, _r, _n = _run_ghs(g, delay=delay, seed=7)
+            assert sorted(tree.edges()) == expected
+
+    def test_negative_weights_fine(self):
+        g = ring(6)
+        g.set_weight(0, 1, -5.0)
+        g.set_weight(2, 3, -1.0)
+        tree, _r, _n = _run_ghs(g)
+        assert (0, 1) in tree.edges()
+        assert sorted(tree.edges()) == sorted(kruskal_mst(g).edges())
+
+    def test_distinct_given_weights(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)])
+        for e, w in zip(g.edges(), (5.0, 1.0, 4.0, 2.0, 3.0)):
+            g.set_weight(*e, w)
+        tree, _r, _n = _run_ghs(g)
+        assert sorted(tree.edges()) == sorted(kruskal_mst(g).edges())
+
+
+class TestScaleAndShape:
+    @pytest.mark.parametrize("n", [20, 32, 48])
+    def test_message_growth_near_nlogn_plus_m(self, n):
+        import math
+
+        g = gnp_connected(n, 0.2, seed=n)
+        _tree, report, _net = _run_ghs(g)
+        bound = 5 * n * max(1, math.ceil(math.log2(n))) + 4 * g.m + 2 * n
+        assert report.total_messages <= bound
+
+    def test_trace_contains_protocol_phases(self):
+        g = gnp_connected(12, 0.4, seed=9)
+        tr = TraceRecorder(capacity=10**6)
+        _tree, _report, _net = _run_ghs(g, trace=tr)
+        names = {type(r.message).__name__ for r in tr.records if r.message}
+        assert {"Connect", "Initiate", "Test", "Report", "GhsDone"} <= names

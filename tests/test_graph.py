@@ -1,0 +1,170 @@
+"""Unit tests for repro.graphs.graph."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs import Graph, canonical_edge
+
+
+class TestCanonicalEdge:
+    def test_orders_endpoints(self):
+        assert canonical_edge(3, 1) == (1, 3)
+        assert canonical_edge(1, 3) == (1, 3)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(GraphError):
+            canonical_edge(2, 2)
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.n == 0 and g.m == 0
+        assert g.nodes() == [] and g.edges() == []
+
+    def test_nodes_and_edges(self):
+        g = Graph(nodes=[1, 2, 3], edges=[(1, 2), (3, 2)])
+        assert g.n == 3
+        assert g.m == 2
+        assert g.edges() == [(1, 2), (2, 3)]
+
+    def test_add_edge_creates_nodes(self):
+        g = Graph()
+        g.add_edge(5, 7)
+        assert g.has_node(5) and g.has_node(7)
+
+    def test_duplicate_edge_rejected(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            g.add_edge(1, 0)
+
+    def test_self_loop_rejected(self):
+        g = Graph(nodes=[0])
+        with pytest.raises(GraphError):
+            g.add_edge(0, 0)
+
+    def test_negative_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(nodes=[-1])
+
+    def test_non_int_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(nodes=["a"])  # type: ignore[list-item]
+
+    def test_bool_node_rejected(self):
+        with pytest.raises(GraphError):
+            Graph(nodes=[True])  # type: ignore[list-item]
+
+    def test_add_node_idempotent(self):
+        g = Graph()
+        g.add_node(4)
+        g.add_node(4)
+        assert g.n == 1
+
+
+class TestMutation:
+    def test_remove_edge(self):
+        g = Graph(edges=[(0, 1), (1, 2)])
+        g.remove_edge(1, 0)
+        assert not g.has_edge(0, 1)
+        assert g.m == 1
+
+    def test_remove_missing_edge_raises(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(GraphError):
+            g.remove_edge(0, 1)
+
+    def test_remove_edge_clears_weight(self):
+        g = Graph(edges=[(0, 1)])
+        g.set_weight(0, 1, 4.0)
+        g.remove_edge(0, 1)
+        g.add_edge(0, 1)
+        assert g.weight(0, 1) == 1.0
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.neighbors(0) == {1, 2, 3}
+        assert g.degree(0) == 3
+        assert g.degree(1) == 1
+
+    def test_neighbors_unknown_raises(self):
+        g = Graph()
+        with pytest.raises(GraphError):
+            g.neighbors(9)
+
+    def test_max_degree(self):
+        g = Graph(edges=[(0, 1), (0, 2)])
+        assert g.max_degree() == 2
+
+    def test_max_degree_empty_raises(self):
+        with pytest.raises(GraphError):
+            Graph().max_degree()
+
+    def test_degree_histogram(self):
+        g = Graph(edges=[(0, 1), (0, 2), (0, 3)])
+        assert g.degree_histogram() == {1: 3, 3: 1}
+
+    def test_weights_default(self):
+        g = Graph(edges=[(0, 1)])
+        assert g.weight(0, 1) == 1.0
+        g.set_weight(0, 1, 2.5)
+        assert g.weight(1, 0) == 2.5
+
+    def test_set_weight_missing_edge_raises(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(GraphError):
+            g.set_weight(0, 1, 2.0)
+
+    def test_dunder_contains_iter_len(self):
+        g = Graph(nodes=[3, 1, 2])
+        assert 2 in g and 9 not in g
+        assert list(g) == [1, 2, 3]
+        assert len(g) == 3
+
+    def test_eq(self):
+        a = Graph(edges=[(0, 1)])
+        b = Graph(edges=[(1, 0)])
+        assert a == b
+        b.add_node(7)
+        assert a != b
+        assert a != "not a graph"
+
+
+class TestCopySubgraphRelabel:
+    def test_copy_independent(self):
+        g = Graph(edges=[(0, 1)])
+        g.set_weight(0, 1, 3.0)
+        h = g.copy()
+        h.add_edge(0, 2)
+        assert g.m == 1 and h.m == 2
+        assert h.weight(0, 1) == 3.0
+
+    def test_subgraph(self):
+        g = Graph(edges=[(0, 1), (1, 2), (2, 0), (2, 3)])
+        h = g.subgraph([0, 1, 2])
+        assert h.n == 3 and h.m == 3
+
+    def test_subgraph_unknown_node_raises(self):
+        g = Graph(nodes=[0])
+        with pytest.raises(GraphError):
+            g.subgraph([0, 5])
+
+    def test_relabeled(self):
+        g = Graph(edges=[(0, 1)])
+        h = g.relabeled({0: 10, 1: 20})
+        assert h.has_edge(10, 20) and h.n == 2
+
+    def test_relabeled_must_cover(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled({0: 10})
+
+    def test_relabeled_must_be_injective(self):
+        g = Graph(edges=[(0, 1)])
+        with pytest.raises(GraphError):
+            g.relabeled({0: 5, 1: 5})
+
+    def test_repr(self):
+        assert repr(Graph(edges=[(0, 1)])) == "Graph(n=2, m=1)"

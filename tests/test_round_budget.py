@@ -1,0 +1,58 @@
+"""Per-round message budget audit (§4.2 of the paper).
+
+The paper's per-round budget is 2m + 3(n−1) messages; our repairs cost a
+constant factor (always-reply cousins double non-tree traffic, the
+barrier adds ≤ cutters·height reports). With per-round message counts
+now recorded in RoundInfo, the budget is checkable round by round.
+"""
+
+import pytest
+
+from repro.graphs import complete, gnp_connected, random_geometric, wheel
+from repro.mdst import MDSTConfig, run_mdst
+from repro.spanning import greedy_hub_tree
+
+CASES = [
+    ("k10", complete(10)),
+    ("wheel12", wheel(12)),
+    ("gnp24", gnp_connected(24, 0.25, seed=2)),
+    ("geo20", random_geometric(20, 0.42, seed=3)),
+]
+
+
+def _budget(g, cutters):
+    # search+reports+move(+acks)+terminate <= 6n, tree waves+echoes <= 2n,
+    # cross waves+replies <= 4(m-n+1), exchange <= 4n, barrier <= cutters*n
+    n, m = g.n, g.m
+    return 12 * n + 4 * (m - n + 1) + cutters * n
+
+
+class TestPerRoundBudget:
+    @pytest.mark.parametrize("name,g", CASES, ids=[c[0] for c in CASES])
+    def test_every_round_within_budget(self, name, g):
+        res = run_mdst(g, greedy_hub_tree(g), seed=0)
+        assert res.rounds, "expected at least one round"
+        for r in res.rounds:
+            assert r.messages <= _budget(g, r.cutters), (
+                f"round {r.index}: {r.messages} messages exceeds budget"
+            )
+
+    def test_round_messages_sum_close_to_total(self):
+        g = gnp_connected(20, 0.3, seed=4)
+        res = run_mdst(g, greedy_hub_tree(g), seed=0)
+        per_round = sum(r.messages for r in res.rounds)
+        # everything outside counted rounds is the pre-round start and
+        # the final terminating sweep: at most ~4n messages
+        assert 0 <= res.messages - per_round <= 6 * g.n
+
+    def test_single_mode_budget(self):
+        g = gnp_connected(24, 0.25, seed=5)
+        res = run_mdst(g, greedy_hub_tree(g), config=MDSTConfig(mode="single"))
+        for r in res.rounds:
+            assert r.cutters == 1
+            assert r.messages <= _budget(g, 1)
+
+    def test_round_messages_positive(self):
+        g = complete(8)
+        res = run_mdst(g, greedy_hub_tree(g))
+        assert all(r.messages > 0 for r in res.rounds)

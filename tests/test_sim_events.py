@@ -1,0 +1,104 @@
+"""Unit tests for repro.sim.events and repro.sim.messages."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sim import Event, EventKind, EventQueue, Message, message_bits
+
+
+class TestEventQueue:
+    def test_push_pop_order(self):
+        q = EventQueue()
+        q.push(2.0, EventKind.START, target=1)
+        q.push(1.0, EventKind.START, target=2)
+        q.push(3.0, EventKind.START, target=3)
+        assert q.pop().target == 2
+        assert q.pop().target == 1
+        assert q.pop().target == 3
+
+    def test_tie_break_by_enqueue_order(self):
+        q = EventQueue()
+        for target in (5, 3, 9):
+            q.push(1.0, EventKind.START, target=target)
+        assert [q.pop().target for _ in range(3)] == [5, 3, 9]
+
+    def test_now_advances(self):
+        q = EventQueue()
+        q.push(4.5, EventKind.START, target=0)
+        assert q.now == 0.0
+        q.pop()
+        assert q.now == 4.5
+
+    def test_cannot_schedule_in_past(self):
+        q = EventQueue()
+        q.push(5.0, EventKind.START, target=0)
+        q.pop()
+        with pytest.raises(SchedulingError):
+            q.push(4.0, EventKind.START, target=0)
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(SchedulingError):
+            EventQueue().pop()
+
+    def test_peek(self):
+        q = EventQueue()
+        with pytest.raises(SchedulingError):
+            q.peek_time()
+        q.push(7.0, EventKind.START, target=0)
+        assert q.peek_time() == 7.0
+        assert len(q) == 1
+        assert bool(q)
+
+    def test_event_fields(self):
+        q = EventQueue()
+        ev = q.push(1.0, EventKind.DELIVER, target=2, sender=1, payload="x", depth=3)
+        assert isinstance(ev, Event)
+        assert ev.sort_key() == (1.0, 0)
+        assert ev.depth == 3
+
+
+@dataclass(frozen=True, slots=True)
+class Probe(Message):
+    a: int
+    b: int | None = None
+    pair: tuple[int, int] | None = None
+
+
+class TestMessage:
+    def test_type_name(self):
+        assert Probe(a=1).type_name == "Probe"
+
+    def test_field_values_skips_none(self):
+        assert Probe(a=1).field_values() == [1]
+        assert Probe(a=1, b=2).field_values() == [1, 2]
+
+    def test_tuple_fields_flattened(self):
+        assert Probe(a=1, pair=(4, 5)).field_values() == [1, 4, 5]
+        assert Probe(a=1, pair=(4, None)).field_values() == [1, 4]  # type: ignore[arg-type]
+
+    def test_bool_counts_as_scalar(self):
+        @dataclass(frozen=True, slots=True)
+        class Flagged(Message):
+            ok: bool
+
+        assert Flagged(ok=True).field_values() == [1]
+
+    def test_non_scalar_rejected(self):
+        @dataclass(frozen=True, slots=True)
+        class Bad(Message):
+            data: object
+
+        with pytest.raises(TypeError):
+            Bad(data=[1, 2]).field_values()
+
+    def test_id_field_count(self):
+        assert Probe(a=1, b=2, pair=(3, 4)).id_field_count() == 4
+
+    def test_message_bits(self):
+        msg = Probe(a=1, b=2)
+        # n=16 -> 4 bits per field, 2 fields, +5 type bits
+        assert message_bits(msg, n=16) == 5 + 2 * 4
+        assert message_bits(msg, n=2) == 5 + 2 * 1
+        assert message_bits(msg, n=1) == 5 + 2 * 1

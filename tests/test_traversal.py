@@ -1,0 +1,128 @@
+"""Unit tests for repro.graphs.traversal."""
+
+import pytest
+
+from repro.errors import GraphError, NotConnectedError
+from repro.graphs import (
+    Graph,
+    bfs_layers,
+    bfs_order,
+    bfs_parents,
+    connected_components,
+    dfs_order,
+    dfs_parents,
+    diameter,
+    eccentricity,
+    is_connected,
+    path_graph,
+    ring,
+    shortest_path_lengths,
+    tree_path,
+)
+
+
+@pytest.fixture
+def diamond():
+    #   0
+    #  / \
+    # 1   2
+    #  \ /
+    #   3 - 4
+    return Graph(edges=[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4)])
+
+
+class TestBFS:
+    def test_order_deterministic(self, diamond):
+        assert bfs_order(diamond, 0) == [0, 1, 2, 3, 4]
+
+    def test_parents_structure(self, diamond):
+        p = bfs_parents(diamond, 0)
+        assert p[0] is None
+        assert p[3] == 1  # smallest-id parent wins
+        assert p[4] == 3
+
+    def test_layers(self, diamond):
+        assert bfs_layers(diamond, 0) == [[0], [1, 2], [3], [4]]
+
+    def test_unknown_source(self, diamond):
+        with pytest.raises(GraphError):
+            bfs_order(diamond, 99)
+
+    def test_unreachable_nodes_absent(self):
+        g = Graph(nodes=[0, 1], edges=[])
+        assert bfs_order(g, 0) == [0]
+        assert 1 not in bfs_parents(g, 0)
+
+
+class TestDFS:
+    def test_order_prefers_small_ids(self, diamond):
+        assert dfs_order(diamond, 0) == [0, 1, 3, 2, 4]
+
+    def test_parents_is_tree(self, diamond):
+        p = dfs_parents(diamond, 0)
+        assert p[0] is None
+        assert len(p) == 5
+        # every non-root parent chain terminates at 0
+        for u in p:
+            cur = u
+            for _ in range(10):
+                if cur == 0:
+                    break
+                cur = p[cur]
+            assert cur == 0
+
+
+class TestComponentsConnectivity:
+    def test_single_component(self, diamond):
+        assert connected_components(diamond) == [{0, 1, 2, 3, 4}]
+        assert is_connected(diamond)
+
+    def test_multiple_components(self):
+        g = Graph(edges=[(0, 1), (2, 3)])
+        g.add_node(4)
+        comps = connected_components(g)
+        assert comps == [{0, 1}, {2, 3}, {4}]
+        assert not is_connected(g)
+
+    def test_empty_not_connected(self):
+        assert not is_connected(Graph())
+
+    def test_singleton_connected(self):
+        assert is_connected(Graph(nodes=[0]))
+
+
+class TestDistances:
+    def test_shortest_paths(self, diamond):
+        d = shortest_path_lengths(diamond, 0)
+        assert d == {0: 0, 1: 1, 2: 1, 3: 2, 4: 3}
+
+    def test_eccentricity_and_diameter(self):
+        g = path_graph(5)
+        assert eccentricity(g, 0) == 4
+        assert eccentricity(g, 2) == 2
+        assert diameter(g) == 4
+        assert diameter(ring(6)) == 3
+
+    def test_eccentricity_disconnected_raises(self):
+        g = Graph(nodes=[0, 1])
+        with pytest.raises(NotConnectedError):
+            eccentricity(g, 0)
+
+
+class TestTreePath:
+    def test_path_through_lca(self):
+        parents = {0: None, 1: 0, 2: 0, 3: 1, 4: 2}
+        assert tree_path(parents, 3, 4) == [3, 1, 0, 2, 4]
+
+    def test_path_to_self(self):
+        parents = {0: None, 1: 0}
+        assert tree_path(parents, 1, 1) == [1]
+
+    def test_path_ancestor(self):
+        parents = {0: None, 1: 0, 2: 1}
+        assert tree_path(parents, 2, 0) == [2, 1, 0]
+        assert tree_path(parents, 0, 2) == [0, 1, 2]
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(GraphError):
+            tree_path({0: None}, 0, 9)

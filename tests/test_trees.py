@@ -1,0 +1,179 @@
+"""Unit tests for repro.graphs.trees."""
+
+import pytest
+
+from repro.errors import GraphError, NotATreeError
+from repro.graphs import Graph, RootedTree, tree_from_edges, tree_from_parents
+
+
+@pytest.fixture
+def sample():
+    #       5
+    #      / \
+    #     3   8
+    #    / \
+    #   1   4
+    return RootedTree(5, {3: 5, 8: 5, 1: 3, 4: 3})
+
+
+class TestConstruction:
+    def test_valid(self, sample):
+        assert sample.root == 5
+        assert sample.n == 5
+        assert sample.nodes() == [1, 3, 4, 5, 8]
+
+    def test_root_none_parent_ok(self):
+        t = RootedTree(0, {0: None, 1: 0})
+        assert t.parent(0) is None
+
+    def test_nonroot_none_parent_rejected(self):
+        with pytest.raises(NotATreeError):
+            RootedTree(0, {1: None})
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NotATreeError):
+            RootedTree(0, {1: 2, 2: 1})
+
+    def test_unknown_parent_rejected(self):
+        with pytest.raises(NotATreeError):
+            RootedTree(0, {1: 99})
+
+    def test_singleton(self):
+        t = RootedTree(7, {})
+        assert t.n == 1 and t.degree(7) == 0
+        assert t.edges() == []
+
+
+class TestStructure:
+    def test_parent_children(self, sample):
+        assert sample.parent(1) == 3
+        assert sample.parent(5) is None
+        assert sample.children(5) == {3, 8}
+        assert sample.children(1) == set()
+
+    def test_unknown_node_raises(self, sample):
+        with pytest.raises(GraphError):
+            sample.parent(99)
+        with pytest.raises(GraphError):
+            sample.children(99)
+
+    def test_edges(self, sample):
+        assert sample.edges() == [(1, 3), (3, 4), (3, 5), (5, 8)]
+
+    def test_degree(self, sample):
+        assert sample.degree(5) == 2  # root: children only
+        assert sample.degree(3) == 3  # parent + 2 children
+        assert sample.degree(1) == 1
+
+    def test_max_degree_and_nodes(self, sample):
+        assert sample.max_degree() == 3
+        assert sample.max_degree_nodes() == [3]
+
+    def test_degree_histogram(self, sample):
+        assert sample.degree_histogram() == {1: 3, 2: 1, 3: 1}
+
+    def test_leaves(self, sample):
+        assert sample.leaves() == [1, 4, 8]
+
+    def test_depth_height(self, sample):
+        assert sample.depth(5) == 0
+        assert sample.depth(1) == 2
+        assert sample.height() == 2
+
+    def test_subtree(self, sample):
+        assert sample.subtree(3) == {1, 3, 4}
+        assert sample.subtree(5) == {1, 3, 4, 5, 8}
+
+    def test_paths(self, sample):
+        assert sample.path_to_root(1) == [1, 3, 5]
+        assert sample.path(1, 8) == [1, 3, 5, 8]
+        assert sample.path(1, 4) == [1, 3, 4]
+
+
+class TestConversions:
+    def test_parent_map_roundtrip(self, sample):
+        pm = sample.parent_map()
+        t2 = tree_from_parents(5, pm)
+        assert t2 == sample
+
+    def test_as_graph(self, sample):
+        g = sample.as_graph()
+        assert g.n == 5 and g.m == 4
+        assert g.has_edge(3, 5)
+
+    def test_rerooted_same_edges(self, sample):
+        t2 = sample.rerooted(1)
+        assert t2.root == 1
+        assert t2.edges() == sample.edges()
+        assert t2.parent(3) == 1
+        assert t2.parent(5) == 3
+
+    def test_rerooted_unknown_raises(self, sample):
+        with pytest.raises(GraphError):
+            sample.rerooted(42)
+
+    def test_rerooted_degrees_preserved(self, sample):
+        t2 = sample.rerooted(8)
+        for u in sample.nodes():
+            assert t2.degree(u) == sample.degree(u)
+
+
+class TestSwap:
+    def test_swapped_valid(self):
+        # path 0-1-2-3 rooted at 0; add (0,3), remove (1,2)
+        t = tree_from_edges(0, [(0, 1), (1, 2), (2, 3)])
+        t2 = t.swapped(remove=(1, 2), add=(0, 3))
+        assert sorted(t2.edges()) == [(0, 1), (0, 3), (2, 3)]
+        assert t2.root == 0
+
+    def test_swapped_invalid_disconnects(self):
+        # removing an edge and adding one inside the same side disconnects
+        t3 = tree_from_edges(0, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        with pytest.raises(NotATreeError):
+            t3.swapped(remove=(0, 1), add=(3, 1))
+
+    def test_swapped_reconnecting_is_valid(self):
+        t = tree_from_edges(0, [(0, 1), (1, 2), (2, 3)])
+        t2 = t.swapped(remove=(0, 1), add=(2, 0))
+        assert sorted(t2.edges()) == [(0, 2), (1, 2), (2, 3)]
+
+    def test_swapped_remove_missing(self):
+        t = tree_from_edges(0, [(0, 1)])
+        with pytest.raises(NotATreeError):
+            t.swapped(remove=(0, 2), add=(0, 1))
+
+    def test_swapped_add_existing(self):
+        t = tree_from_edges(0, [(0, 1), (1, 2)])
+        with pytest.raises(NotATreeError):
+            t.swapped(remove=(0, 1), add=(1, 2))
+
+
+class TestFromEdges:
+    def test_valid(self):
+        t = tree_from_edges(2, [(2, 0), (2, 1)])
+        assert t.root == 2 and t.children(2) == {0, 1}
+
+    def test_wrong_edge_count(self):
+        with pytest.raises(NotATreeError):
+            tree_from_edges(0, [(0, 1), (1, 2), (2, 0)])
+
+    def test_disconnected(self):
+        with pytest.raises(NotATreeError):
+            tree_from_edges(0, [(0, 1), (2, 3), (3, 4)])
+
+    def test_spanning_check(self):
+        g = Graph(edges=[(0, 1), (1, 2), (0, 2)])
+        t = tree_from_edges(0, [(0, 1), (1, 2)])
+        assert t.is_spanning_tree_of(g)
+        g2 = Graph(edges=[(0, 1), (1, 2), (2, 3)])
+        assert not t.is_spanning_tree_of(g2)  # doesn't span
+        t_bad = tree_from_edges(0, [(0, 3), (0, 1), (1, 2)])
+        assert not t_bad.is_spanning_tree_of(g2)  # uses non-graph edge
+
+    def test_eq_and_repr(self):
+        a = tree_from_edges(0, [(0, 1)])
+        b = tree_from_edges(0, [(1, 0)])
+        assert a == b
+        assert a != tree_from_edges(1, [(0, 1)])
+        assert a != 5
+        assert "RootedTree" in repr(a)

@@ -1,0 +1,141 @@
+"""Tests for ASCII viz and the CLI."""
+
+import pytest
+
+from repro.cli import main
+from repro.graphs import complete, ring, tree_from_edges
+from repro.mdst import run_mdst
+from repro.sim import TraceRecorder
+from repro.spanning import bfs_tree, greedy_hub_tree
+from repro.viz import (
+    graph_summary,
+    phase_timeline,
+    render_adjacency,
+    render_degree_histogram,
+    render_tree,
+    round_narrative,
+)
+
+
+class TestAsciiTree:
+    def test_render_contains_all_nodes(self):
+        t = tree_from_edges(0, [(0, 1), (0, 2), (2, 3)])
+        text = render_tree(t)
+        for u in (0, 1, 2, 3):
+            assert str(u) in text
+        assert "deg" in text
+
+    def test_max_degree_flagged(self):
+        t = tree_from_edges(0, [(0, 1), (0, 2), (0, 3)])
+        text = render_tree(t)
+        assert "0 (deg 3) *" in text
+
+    def test_max_depth_truncation(self):
+        t = tree_from_edges(0, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        text = render_tree(t, max_depth=1)
+        assert "below" in text
+
+    def test_degree_histogram(self):
+        t = bfs_tree(ring(6))
+        text = render_degree_histogram(t)
+        assert "degree" in text and "#" in text
+
+    def test_singleton(self):
+        t = tree_from_edges(5, [])
+        assert "5" in render_tree(t)
+
+
+class TestAsciiGraph:
+    def test_summary(self):
+        text = graph_summary(complete(5))
+        assert "n=5" in text and "max=4" in text
+
+    def test_empty(self):
+        from repro.graphs import Graph
+
+        assert graph_summary(Graph()) == "empty graph"
+
+    def test_adjacency(self):
+        text = render_adjacency(ring(4))
+        assert "■" in text
+
+    def test_adjacency_too_big(self):
+        assert "omitted" in render_adjacency(complete(40))
+
+
+class TestTraceView:
+    def test_phase_timeline_and_narrative(self):
+        g = complete(6)
+        tr = TraceRecorder()
+        run_mdst(g, greedy_hub_tree(g), trace=tr)
+        timeline = phase_timeline(tr)
+        assert "SearchDegree" in timeline
+        narrative = round_narrative(tr)
+        assert "BFS wave" in narrative
+
+
+class TestCli:
+    def test_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "complete" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--family", "complete", "--n", "8", "--initial", "greedy_hub"]) == 0
+        out = capsys.readouterr().out
+        assert "degree:" in out
+
+    def test_run_show_tree(self, capsys):
+        assert (
+            main(
+                [
+                    "run", "--family", "complete", "--n", "6",
+                    "--initial", "greedy_hub", "--show-tree",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "deg" in out
+
+    def test_exact(self, capsys):
+        assert main(["exact", "--family", "complete", "--n", "6"]) == 0
+        assert "optimal degree = 2" in capsys.readouterr().out
+
+    def test_certify(self, capsys):
+        assert (
+            main(
+                [
+                    "certify", "--family", "complete", "--n", "8",
+                    "--initial", "greedy_hub",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PASS" in out
+
+    def test_sweep(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep", "--families", "complete", "--sizes", "8",
+                    "--seeds", "0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "MDegST sweep" in out
+
+    def test_entrypoint_module(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "families"],
+            capture_output=True,
+            text=True,
+        )
+        assert proc.returncode == 0
+        assert "ring" in proc.stdout
