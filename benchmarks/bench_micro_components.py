@@ -14,6 +14,21 @@ from repro.spanning import build_spanning_tree, greedy_hub_tree
 
 
 def test_micro_event_queue(benchmark):
+    """Raw-tuple path: what Network's inner loop actually executes."""
+
+    def churn():
+        q = EventQueue()
+        for i in range(2000):
+            q.push_raw(float(i % 97), EventKind.START, target=i)
+        while q:
+            q.pop_raw()
+
+    benchmark(churn)
+
+
+def test_micro_event_queue_object_api(benchmark):
+    """Compat path that materializes an Event per push/pop."""
+
     def churn():
         q = EventQueue()
         for i in range(2000):

@@ -9,7 +9,7 @@ constant — the paper's own per-round budget is 2m + 3(n−1) ≈ 2–5×m.
 from repro.analysis import SweepSpec, Table, fit_claim, run_sweep
 
 
-def test_t2_message_complexity(benchmark, emit):
+def test_t2_message_complexity(benchmark, emit, sweep_jobs, sweep_cache):
     spec = SweepSpec(
         families=("gnp_sparse", "geometric"),
         sizes=(16, 24, 32, 48, 64),
@@ -17,7 +17,13 @@ def test_t2_message_complexity(benchmark, emit):
         initial_methods=("echo",),
         modes=("concurrent",),
     )
-    records = benchmark.pedantic(run_sweep, args=(spec,), rounds=1, iterations=1)
+    records = benchmark.pedantic(
+        run_sweep,
+        args=(spec,),
+        kwargs={"jobs": sweep_jobs, "cache": sweep_cache},
+        rounds=1,
+        iterations=1,
+    )
 
     table = Table(
         ["family", "n", "m", "k0", "k*", "messages", "msgs/((k−k*+1)·m)"],

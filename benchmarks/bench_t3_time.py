@@ -7,7 +7,7 @@ the paper's measure exactly. Regressed against (k − k* + 1)·n.
 from repro.analysis import SweepSpec, Table, fit_claim, run_sweep
 
 
-def test_t3_time_complexity(benchmark, emit):
+def test_t3_time_complexity(benchmark, emit, sweep_jobs, sweep_cache):
     spec = SweepSpec(
         families=("gnp_sparse", "geometric"),
         sizes=(16, 24, 32, 48, 64),
@@ -15,7 +15,13 @@ def test_t3_time_complexity(benchmark, emit):
         initial_methods=("echo",),
         modes=("concurrent",),
     )
-    records = benchmark.pedantic(run_sweep, args=(spec,), rounds=1, iterations=1)
+    records = benchmark.pedantic(
+        run_sweep,
+        args=(spec,),
+        kwargs={"jobs": sweep_jobs, "cache": sweep_cache},
+        rounds=1,
+        iterations=1,
+    )
 
     table = Table(
         ["family", "n", "m", "k0", "k*", "causal time", "time/((k−k*+1)·n)"],

@@ -3,6 +3,16 @@
 Every bench regenerates one experiment of DESIGN.md §3 and *emits* its
 paper-style table: printed (visible with ``-s``) and written under
 ``benchmarks/out/`` so the rows survive pytest's capture either way.
+
+Sweep-heavy benches honor two execution knobs:
+
+``--jobs N``
+    Fan sweep cells out over N worker processes (records keep the
+    deterministic serial order).
+``--cache DIR``
+    Disk result cache; reruns skip completed cells. Point successive
+    invocations at the same DIR to iterate on table formatting without
+    paying for the runs again.
 """
 
 from __future__ import annotations
@@ -12,6 +22,34 @@ from pathlib import Path
 import pytest
 
 OUT_DIR = Path(__file__).parent / "out"
+
+
+def pytest_addoption(parser):
+    group = parser.getgroup("repro sweeps")
+    group.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=1,
+        help="worker processes for sweep-backed benchmarks",
+    )
+    group.addoption(
+        "--cache",
+        action="store",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory for sweep-backed benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def sweep_jobs(request) -> int:
+    return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session")
+def sweep_cache(request) -> str | None:
+    return request.config.getoption("--cache")
 
 
 @pytest.fixture(scope="session")

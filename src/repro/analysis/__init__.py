@@ -1,6 +1,15 @@
 """Experiment harness: sweeps, records, aggregation, fits, tables."""
 
 from .aggregate import Summary, group_by, summarize
+from .cache import ResultCache, cache_key
+from .executor import (
+    CachingExecutor,
+    Executor,
+    ParallelExecutor,
+    RunSpec,
+    SerialExecutor,
+    make_executor,
+)
 from .experiments import EXPERIMENTS, run_experiment
 from .fitting import Fit, fit_affine, fit_claim, fit_proportional
 from .harness import SweepSpec, run_single, run_sweep
@@ -11,6 +20,14 @@ __all__ = [
     "RunRecord",
     "save_records",
     "load_records",
+    "RunSpec",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "CachingExecutor",
+    "make_executor",
+    "ResultCache",
+    "cache_key",
     "SweepSpec",
     "run_single",
     "run_sweep",

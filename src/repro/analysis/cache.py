@@ -1,0 +1,93 @@
+"""Disk-backed result cache for sweep cells.
+
+Every completed cell is stored as one small JSON file named by a stable
+hash of the cell's :class:`~repro.analysis.executor.RunSpec` plus a
+schema version (bumped whenever record semantics change, so stale caches
+invalidate themselves instead of poisoning tables). Records are pure
+functions of their spec, which is what makes a cache hit exactly as good
+as a re-run.
+
+Writes are atomic (write-to-temp then ``os.replace``), so concurrent
+sweeps sharing a cache directory — e.g. a parallel executor's parent
+process and another terminal — never observe torn files; a corrupt or
+unreadable entry is treated as a miss and rewritten.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from .records import RunRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .executor import RunSpec
+
+__all__ = ["ResultCache", "CACHE_SCHEMA_VERSION", "cache_key"]
+
+#: Bump when RunRecord/RunSpec semantics change: old entries become misses.
+CACHE_SCHEMA_VERSION = 1
+
+
+def cache_key(spec: "RunSpec") -> str:
+    """Stable content hash of one run configuration."""
+    canonical = json.dumps(
+        {"schema": CACHE_SCHEMA_VERSION, "spec": spec.to_json_dict()},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One-file-per-cell JSON store under *root*.
+
+    ``hits`` / ``misses`` count lookups since construction (surfaced by
+    the CLI's post-sweep summary line and the scaling benchmark).
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, spec: "RunSpec") -> Path:
+        key = cache_key(spec)
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, spec: "RunSpec") -> RunRecord | None:
+        path = self._path(spec)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+            record = RunRecord.from_json_dict(data["record"])
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def put(self, spec: "RunSpec", record: RunRecord) -> None:
+        path = self._path(spec)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {"spec": spec.to_json_dict(), "record": record.to_json_dict()},
+            sort_keys=True,
+        )
+        tmp = path.with_name(f".{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(payload, encoding="utf-8")
+        os.replace(tmp, path)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def clear(self) -> int:
+        """Delete all entries; returns how many were removed."""
+        removed = 0
+        for entry in self.root.glob("*/*.json"):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

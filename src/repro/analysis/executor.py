@@ -1,0 +1,165 @@
+"""Pluggable execution backends for sweep cells.
+
+A sweep is a flat list of :class:`RunSpec` cells (one fully-determined
+single-run configuration each). An :class:`Executor` turns cells into
+:class:`~repro.analysis.records.RunRecord` rows. Three backends:
+
+* :class:`SerialExecutor` — in-process loop, the reference semantics;
+* :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
+  fan-out. Records come back in **cell order** regardless of worker
+  completion order, so a parallel sweep is bit-identical to a serial one;
+* :class:`CachingExecutor` — wraps any executor with a disk-backed
+  :class:`~repro.analysis.cache.ResultCache`; completed cells are served
+  from disk and only the misses reach the inner executor.
+
+Records cross process boundaries as JSON dicts (the same representation
+the cache stores), so a worker never pickles anything richer than
+built-in types.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Any, Protocol, Sequence, runtime_checkable
+
+from ..errors import AnalysisError
+from .cache import ResultCache
+from .records import RunRecord
+
+__all__ = [
+    "RunSpec",
+    "Executor",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "CachingExecutor",
+    "make_executor",
+]
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One fully-determined sweep cell.
+
+    Together with the library version this is the complete input of a
+    single run: the same ``RunSpec`` always reproduces the same
+    :class:`RunRecord` (simulator determinism), which is what makes both
+    result caching and parallel execution safe.
+    """
+
+    family: str
+    n: int
+    seed: int
+    initial_method: str = "echo"
+    mode: str = "concurrent"
+    delay: str = "unit"
+    max_rounds: int | None = None
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, Any]) -> "RunSpec":
+        return cls(**data)
+
+
+def execute_cell(spec: RunSpec) -> RunRecord:
+    """Run one cell (the unit of work every executor dispatches)."""
+    from .harness import run_single
+
+    return run_single(
+        spec.family,
+        spec.n,
+        spec.seed,
+        initial_method=spec.initial_method,
+        mode=spec.mode,
+        delay=spec.delay,
+        max_rounds=spec.max_rounds,
+    )
+
+
+def _execute_cell_json(payload: dict[str, Any]) -> dict[str, Any]:
+    """Worker entry point: JSON dict in, JSON dict out (picklable both ways)."""
+    return execute_cell(RunSpec.from_json_dict(payload)).to_json_dict()
+
+
+@runtime_checkable
+class Executor(Protocol):
+    """Anything that maps sweep cells to records, preserving cell order."""
+
+    def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]: ...
+
+
+class SerialExecutor:
+    """Reference backend: run every cell in-process, in order."""
+
+    def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
+        return [execute_cell(spec) for spec in cells]
+
+
+class ParallelExecutor:
+    """Process-pool backend.
+
+    ``ProcessPoolExecutor.map`` yields results in *submission* order, so
+    the returned list matches the cell order bit-for-bit no matter which
+    worker finishes first — determinism is positional, not temporal.
+    """
+
+    def __init__(self, jobs: int) -> None:
+        if jobs < 1:
+            raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+
+    def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
+        if not cells:
+            return []
+        if self.jobs == 1 or len(cells) == 1:
+            return SerialExecutor().run(cells)
+        payloads = [spec.to_json_dict() for spec in cells]
+        chunksize = max(1, len(cells) // (self.jobs * 4))
+        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+            rows = list(pool.map(_execute_cell_json, payloads, chunksize=chunksize))
+        return [RunRecord.from_json_dict(row) for row in rows]
+
+
+class CachingExecutor:
+    """Serve cells from a :class:`ResultCache`; run only the misses.
+
+    The miss set is dispatched to *inner* as one batch (so a parallel
+    inner executor still fans out), then merged back into cell order.
+    """
+
+    def __init__(self, inner: Executor, cache: ResultCache | str | Path) -> None:
+        self.inner = inner
+        self.cache = cache if isinstance(cache, ResultCache) else ResultCache(cache)
+
+    def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
+        results: dict[int, RunRecord] = {}
+        misses: list[tuple[int, RunSpec]] = []
+        for i, spec in enumerate(cells):
+            hit = self.cache.get(spec)
+            if hit is not None:
+                results[i] = hit
+            else:
+                misses.append((i, spec))
+        if misses:
+            fresh = self.inner.run([spec for _, spec in misses])
+            for (i, spec), record in zip(misses, fresh):
+                self.cache.put(spec, record)
+                results[i] = record
+        return [results[i] for i in range(len(cells))]
+
+
+def make_executor(
+    *,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> Executor:
+    """Build the executor implied by the ``--jobs`` / ``--cache`` knobs."""
+    if jobs < 1:
+        raise AnalysisError(f"jobs must be >= 1, got {jobs}")
+    executor: Executor = ParallelExecutor(jobs) if jobs > 1 else SerialExecutor()
+    if cache is not None:
+        executor = CachingExecutor(executor, cache)
+    return executor

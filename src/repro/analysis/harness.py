@@ -3,21 +3,42 @@ grids and collect :class:`~repro.analysis.records.RunRecord` rows.
 
 This is the engine behind every benchmark table: a
 :class:`SweepSpec` fully determines its records (seeded, deterministic).
+The spec enumerates a flat list of :class:`~repro.analysis.executor.RunSpec`
+cells which any :class:`~repro.analysis.executor.Executor` backend can
+consume — serially, across a process pool (``jobs``), and/or through a
+disk result cache (``cache``) — always producing the same record list.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from pathlib import Path
 
 from ..errors import AnalysisError
-from ..graphs.generators import make_family
+from ..graphs.generators import FAMILIES, make_family
 from ..mdst.algorithm import run_mdst
-from ..mdst.config import MDSTConfig
-from ..sim.delays import delay_model_from_name
-from ..spanning.provider import build_spanning_tree
+from ..mdst.config import MODES, MDSTConfig
+from ..sim.delays import DELAY_NAMES, delay_model_from_name
+from ..spanning.provider import (
+    CENTRALIZED_METHODS,
+    DISTRIBUTED_METHODS,
+    build_spanning_tree,
+)
+from .cache import ResultCache
+from .executor import Executor, RunSpec, make_executor
 from .records import RunRecord
 
 __all__ = ["SweepSpec", "run_single", "run_sweep"]
+
+_INITIAL_METHODS = DISTRIBUTED_METHODS + CENTRALIZED_METHODS
+
+
+def _check_axis(values: tuple[str, ...], valid: tuple[str, ...], axis: str) -> None:
+    unknown = [v for v in values if v not in valid]
+    if unknown:
+        raise AnalysisError(
+            f"unknown {axis} {unknown!r}; valid choices: {sorted(valid)}"
+        )
 
 
 @dataclass(frozen=True)
@@ -27,6 +48,9 @@ class SweepSpec:
     Attributes mirror the axes of the paper's claims: topology family and
     size (n, m), initial-tree construction (the paper's startup phase),
     protocol mode, delay model, and seeds for everything stochastic.
+
+    Axes are validated eagerly — a typo'd family or delay name fails at
+    construction with the valid choices, not minutes into a sweep.
     """
 
     families: tuple[str, ...] = ("gnp_sparse",)
@@ -38,8 +62,42 @@ class SweepSpec:
     max_rounds: int | None = None
 
     def __post_init__(self) -> None:
-        if not (self.families and self.sizes and self.seeds):
+        if not (
+            self.families
+            and self.sizes
+            and self.seeds
+            and self.initial_methods
+            and self.modes
+            and self.delays
+        ):
             raise AnalysisError("sweep axes must be non-empty")
+        _check_axis(self.families, tuple(FAMILIES), "family")
+        _check_axis(self.initial_methods, _INITIAL_METHODS, "initial method")
+        _check_axis(self.modes, MODES, "mode")
+        _check_axis(self.delays, DELAY_NAMES, "delay model")
+        bad_sizes = [n for n in self.sizes if n < 1]
+        if bad_sizes:
+            raise AnalysisError(f"sizes must be >= 1, got {bad_sizes!r}")
+
+    def cells(self) -> tuple[RunSpec, ...]:
+        """Flatten the cartesian grid into executor cells (stable order)."""
+        return tuple(
+            RunSpec(
+                family=family,
+                n=n,
+                seed=seed,
+                initial_method=method,
+                mode=mode,
+                delay=delay,
+                max_rounds=self.max_rounds,
+            )
+            for family in self.families
+            for n in self.sizes
+            for method in self.initial_methods
+            for mode in self.modes
+            for delay in self.delays
+            for seed in self.seeds
+        )
 
 
 def run_single(
@@ -80,27 +138,30 @@ def run_single(
         startup_messages=(
             startup.report.total_messages if startup.report is not None else 0
         ),
+        max_rounds=max_rounds,
     )
 
 
-def run_sweep(spec: SweepSpec) -> list[RunRecord]:
-    """Run the full cartesian sweep (deterministic given the spec)."""
-    records = []
-    for family in spec.families:
-        for n in spec.sizes:
-            for method in spec.initial_methods:
-                for mode in spec.modes:
-                    for delay in spec.delays:
-                        for seed in spec.seeds:
-                            records.append(
-                                run_single(
-                                    family,
-                                    n,
-                                    seed,
-                                    initial_method=method,
-                                    mode=mode,
-                                    delay=delay,
-                                    max_rounds=spec.max_rounds,
-                                )
-                            )
-    return records
+def run_sweep(
+    spec: SweepSpec,
+    *,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> list[RunRecord]:
+    """Run the full cartesian sweep (deterministic given the spec).
+
+    Parameters
+    ----------
+    executor:
+        Explicit backend; overrides *jobs* / *cache*.
+    jobs:
+        Worker processes (1 = in-process serial execution). Any value
+        produces records in identical order — parallelism never reorders.
+    cache:
+        Result-cache directory (or a :class:`ResultCache`); completed
+        cells are loaded from disk instead of re-run.
+    """
+    if executor is None:
+        executor = make_executor(jobs=jobs, cache=cache)
+    return executor.run(spec.cells())

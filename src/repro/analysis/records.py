@@ -34,6 +34,7 @@ class RunRecord:
     bits: int
     max_msg_fields: int
     startup_messages: int = 0
+    max_rounds: int | None = None
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property

@@ -14,13 +14,14 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .analysis.cache import ResultCache
 from .analysis.harness import SweepSpec, run_single, run_sweep
 from .analysis.tables import Table
 from .graphs.generators import FAMILIES, make_family
 from .mdst.algorithm import run_mdst
-from .mdst.config import MDSTConfig
+from .mdst.config import MODES, MDSTConfig
 from .sequential.exact import optimal_degree
-from .sim.delays import delay_model_from_name
+from .sim.delays import DELAY_NAMES, delay_model_from_name
 from .spanning.provider import (
     CENTRALIZED_METHODS,
     DISTRIBUTED_METHODS,
@@ -51,7 +52,20 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--sizes", nargs="+", type=int, default=[16, 32])
     sweep_p.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2])
     sweep_p.add_argument("--initial", default="echo")
-    sweep_p.add_argument("--mode", default="concurrent", choices=["concurrent", "single"])
+    sweep_p.add_argument("--mode", default="concurrent", choices=list(MODES))
+    sweep_p.add_argument("--delay", default="unit", choices=list(DELAY_NAMES))
+    sweep_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (records stay in deterministic sweep order)",
+    )
+    sweep_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory; completed cells are not re-run",
+    )
 
     exact_p = sub.add_parser("exact", help="ground-truth optimal degree (small n)")
     exact_p.add_argument("--family", default="gnp_sparse")
@@ -81,12 +95,8 @@ def _common_axes(p: argparse.ArgumentParser) -> None:
         choices=list(DISTRIBUTED_METHODS + CENTRALIZED_METHODS),
         help="startup spanning-tree construction",
     )
-    p.add_argument("--mode", default="concurrent", choices=["concurrent", "single"])
-    p.add_argument(
-        "--delay",
-        default="unit",
-        choices=["unit", "uniform", "exponential", "perlink"],
-    )
+    p.add_argument("--mode", default="concurrent", choices=list(MODES))
+    p.add_argument("--delay", default="unit", choices=list(DELAY_NAMES))
 
 
 def _run_once(args: argparse.Namespace):
@@ -147,8 +157,10 @@ def main(argv: list[str] | None = None) -> int:
             seeds=tuple(args.seeds),
             initial_methods=(args.initial,),
             modes=(args.mode,),
+            delays=(args.delay,),
         )
-        records = run_sweep(spec)
+        cache = ResultCache(args.cache) if args.cache else None
+        records = run_sweep(spec, jobs=args.jobs, cache=cache)
         table = Table(
             ["family", "n", "m", "seed", "k0", "k*", "rounds", "msgs", "time"],
             title="MDegST sweep",
@@ -159,6 +171,12 @@ def main(argv: list[str] | None = None) -> int:
                 r.rounds, r.messages, r.causal_time,
             )
         print(table.render())
+        if cache is not None:
+            print(
+                f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+                f"[{args.cache}]",
+                file=sys.stderr,
+            )
         return 0
 
     return 1  # pragma: no cover - argparse enforces commands

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-__all__ = ["MDSTConfig"]
+__all__ = ["MDSTConfig", "MODES"]
+
+#: Valid protocol modes for CLI choices and sweep-spec validation.
+MODES: tuple[str, ...] = ("concurrent", "single")
 
 
 @dataclass(frozen=True)
@@ -40,8 +43,8 @@ class MDSTConfig:
     max_rounds: int | None = None
 
     def __post_init__(self) -> None:
-        if self.mode not in ("concurrent", "single"):
-            raise ValueError(f"mode must be 'concurrent' or 'single', got {self.mode!r}")
+        if self.mode not in MODES:
+            raise ValueError(f"mode must be one of {MODES}, got {self.mode!r}")
         if self.target_degree < 2:
             raise ValueError("target_degree must be >= 2")
         if self.max_rounds is not None and self.max_rounds < 1:

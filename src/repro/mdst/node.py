@@ -130,6 +130,7 @@ class MDSTProcess(Process):
         self.cutter_k = 0
         self.cut_pending: set[int] = set()
         self.cut_candidates: list[tuple[int, int, int, int]] = []  # (deg,l,r,child)
+        self.cut_chosen = False
         self.awaiting_exchange = False
         # exchange endpoint state
         self.pending_attach: int | None = None
@@ -382,10 +383,11 @@ class MDSTProcess(Process):
         self.cutter_k = k
         self.cut_pending = set(self.children)
         self.cut_candidates = []
+        self.cut_chosen = False
         for c in self.children:
             self.send(c, Cut(k=k, cutter=self.node_id))
-        if not self.cut_pending:
-            self._cutter_choose()
+        # choosing waits for _member_init (which always follows): the
+        # cutter's own cross set isn't known yet at this point
 
     def _on_cut(self, sender: int, msg: Cut) -> None:
         if sender != self.parent:
@@ -437,6 +439,7 @@ class MDSTProcess(Process):
         for s, _wk, fr, fc in pending:
             self._handle_cousin(s, (fr, fc))
         self._maybe_echo()
+        self._maybe_cutter_choose()
 
     def _handle_cousin(self, sender: int, other: FragId) -> None:
         """Cross-edge wave: always answer with our identity and degree
@@ -468,6 +471,7 @@ class MDSTProcess(Process):
             self._consider(cand, via=None)
         self.expected_cross.discard(sender)
         self._maybe_echo()
+        self._maybe_cutter_choose()
 
     def _consider(self, cand: tuple[int, int, int], via: int | None) -> None:
         if self.best is None or cand < self.best:
@@ -495,8 +499,7 @@ class MDSTProcess(Process):
             if msg.local is not None:
                 assert msg.remote is not None and msg.deg is not None
                 self.cut_candidates.append((msg.deg, msg.local, msg.remote, sender))
-            if not self.cut_pending:
-                self._cutter_choose()
+            self._maybe_cutter_choose()
             return
         if sender not in self.expected_echo:
             raise ProtocolError(f"{self.node_id}: unexpected WaveEcho from {sender}")
@@ -509,6 +512,20 @@ class MDSTProcess(Process):
     # ------------------------------------------------------------------
     # phase 4: Choose + exchange
     # ------------------------------------------------------------------
+
+    def _maybe_cutter_choose(self) -> None:
+        """Choose once both drain: cut-children echoes AND this cutter's
+        own cross replies. A cutter that chose while its own CousinReply
+        was still in flight would let the round advance under the reply,
+        which then hits the next round's fresh state as "unexpected"."""
+        if (
+            self.is_cutter
+            and not self.cut_chosen
+            and not self.cut_pending
+            and not self.expected_cross
+        ):
+            self.cut_chosen = True
+            self._cutter_choose()
 
     def _cutter_choose(self) -> None:
         if not self.cut_candidates:

@@ -23,6 +23,7 @@ __all__ = [
     "UniformDelay",
     "ExponentialDelay",
     "PerLinkDelay",
+    "DELAY_NAMES",
     "delay_model_from_name",
 ]
 
@@ -115,15 +116,23 @@ class PerLinkDelay(DelayModel):
         return self._cache[key]
 
 
+_DELAY_FACTORIES: dict[str, type[DelayModel]] = {
+    "unit": UnitDelay,
+    "uniform": UniformDelay,
+    "exponential": ExponentialDelay,
+    "perlink": PerLinkDelay,
+}
+
+#: Valid delay-model names for CLI choices and sweep-spec validation.
+DELAY_NAMES: tuple[str, ...] = tuple(sorted(_DELAY_FACTORIES))
+
+
 def delay_model_from_name(name: str) -> DelayModel:
     """Factory used by the CLI / sweep specs."""
-    table: dict[str, DelayModel] = {
-        "unit": UnitDelay(),
-        "uniform": UniformDelay(),
-        "exponential": ExponentialDelay(),
-        "perlink": PerLinkDelay(),
-    }
     try:
-        return table[name]
+        factory = _DELAY_FACTORIES[name]
     except KeyError:
-        raise ValueError(f"unknown delay model {name!r}; choose from {sorted(table)}") from None
+        raise ValueError(
+            f"unknown delay model {name!r}; choose from {sorted(_DELAY_FACTORIES)}"
+        ) from None
+    return factory()

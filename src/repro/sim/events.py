@@ -4,13 +4,22 @@ The queue is a binary heap ordered by ``(time, seq)`` where ``seq`` is a
 global enqueue counter: ties in simulated time resolve deterministically in
 enqueue order, which makes every simulation bit-reproducible for a fixed
 seed (a property the experiment harness and the regression tests rely on).
+
+Hot-path layout: the heap stores raw tuples
+``(time, seq, kind, target, sender, payload, depth)`` — no per-event
+object is allocated on the simulator's inner loop. The
+:class:`Event` dataclass remains the stable inspection API:
+:meth:`EventQueue.push`/:meth:`EventQueue.pop` materialize one on demand,
+while the network engine uses the raw :meth:`EventQueue.push_raw` /
+:meth:`EventQueue.pop_raw` fast path. ``seq`` is unique, so heap
+comparisons never reach the non-comparable payload slot.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
+from heapq import heappop, heappush
 from typing import Any
 
 from ..errors import SchedulingError
@@ -61,17 +70,23 @@ class Event:
         return (self.time, self.seq)
 
 
-@dataclass
 class EventQueue:
     """Deterministic binary-heap event queue."""
 
-    _heap: list[tuple[float, int, Event]] = field(default_factory=list)
-    _seq: int = 0
-    _now: float = 0.0
+    __slots__ = ("_heap", "_seq", "_now")
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, EventKind, int, int, Any, int]] = []
+        self._seq = 0
+        self._now = 0.0
 
     @property
     def now(self) -> float:
         """Current simulated time (time of the last popped event)."""
+        return self._now
+
+    def get_now(self) -> float:
+        """Bound-method clock accessor, shared by every node context."""
         return self._now
 
     def __len__(self) -> int:
@@ -79,6 +94,28 @@ class EventQueue:
 
     def __bool__(self) -> bool:
         return bool(self._heap)
+
+    def push_raw(
+        self,
+        time: float,
+        kind: EventKind,
+        target: int,
+        sender: int = -1,
+        payload: Any = None,
+        depth: int = 0,
+    ) -> int:
+        """Schedule an event without materializing an :class:`Event`.
+
+        Returns the sequence number assigned to the entry.
+        """
+        if time < self._now:
+            raise SchedulingError(
+                f"cannot schedule at {time} before current time {self._now}"
+            )
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, kind, target, sender, payload, depth))
+        return seq
 
     def push(
         self,
@@ -94,26 +131,26 @@ class EventQueue:
             raise SchedulingError(
                 f"cannot schedule at {time} before current time {self._now}"
             )
-        ev = Event(
-            time=time,
-            seq=self._seq,
-            kind=kind,
-            target=target,
-            sender=sender,
-            payload=payload,
-            depth=depth,
-        )
-        self._seq += 1
-        heapq.heappush(self._heap, (time, ev.seq, ev))
-        return ev
+        seq = self._seq
+        self._seq = seq + 1
+        heappush(self._heap, (time, seq, kind, target, sender, payload, depth))
+        return Event(time, seq, kind, target, sender, payload, depth)
+
+    def pop_raw(self) -> tuple[float, int, EventKind, int, int, Any, int]:
+        """Pop the earliest raw entry and advance the clock to it."""
+        if not self._heap:
+            raise SchedulingError("pop from empty event queue")
+        item = heappop(self._heap)
+        self._now = item[0]
+        return item
 
     def pop(self) -> Event:
         """Pop the earliest event and advance the clock to it."""
         if not self._heap:
             raise SchedulingError("pop from empty event queue")
-        time, _seq, ev = heapq.heappop(self._heap)
-        self._now = time
-        return ev
+        item = heappop(self._heap)
+        self._now = item[0]
+        return Event(*item)
 
     def peek_time(self) -> float:
         """Time of the next event without popping."""

@@ -15,7 +15,14 @@ import dataclasses
 import math
 from dataclasses import dataclass
 
-__all__ = ["Message", "message_bits"]
+__all__ = ["Message", "message_bits", "MESSAGE_TYPE_BITS"]
+
+#: Bits charged for the message type tag in the paper's accounting.
+MESSAGE_TYPE_BITS = 5
+
+# field_values runs once per sent message; dataclasses.fields() rebuilds a
+# tuple of Field objects each call, so the names are memoized per class.
+_FIELD_NAMES: dict[type, tuple[str, ...]] = {}
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,9 +40,14 @@ class Message:
 
     def field_values(self) -> list[int | float]:
         """Flatten all non-None scalar payload fields."""
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = tuple(f.name for f in dataclasses.fields(self))
+            _FIELD_NAMES[cls] = names
         out: list[int | float] = []
-        for f in dataclasses.fields(self):
-            value = getattr(self, f.name)
+        for name in names:
+            value = getattr(self, name)
             if value is None:
                 continue
             if isinstance(value, bool):
@@ -46,7 +58,7 @@ class Message:
                 out.extend(v for v in value if v is not None)
             else:
                 raise TypeError(
-                    f"{self.type_name}.{f.name} has non-scalar payload {value!r}"
+                    f"{self.type_name}.{name} has non-scalar payload {value!r}"
                 )
         return out
 
@@ -55,7 +67,7 @@ class Message:
         return len(self.field_values())
 
 
-def message_bits(msg: Message, n: int, type_bits: int = 5) -> int:
+def message_bits(msg: Message, n: int, type_bits: int = MESSAGE_TYPE_BITS) -> int:
     """Size of *msg* in bits on a network of *n* nodes.
 
     Each identity-sized field costs ``ceil(log2(max(n, 2)))`` bits and the

@@ -17,10 +17,11 @@ simulator knowing anything about the protocol.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Any
 
-from .messages import Message, message_bits
+from .messages import MESSAGE_TYPE_BITS, Message
 
 __all__ = ["MessageStats", "SimulationReport"]
 
@@ -39,14 +40,19 @@ class MessageStats:
     deliveries: int = 0
     marks: list[tuple[float, str, Any]] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # Per-field bit cost is a function of n only; computing it once
+        # keeps record_send off the math/log path (hot: once per message).
+        self._id_bits = max(1, math.ceil(math.log2(max(self.n, 2))))
+
     def record_send(self, msg: Message) -> None:
         self.total_messages += 1
-        name = msg.type_name
+        name = type(msg).__name__
         self.by_type[name] = self.by_type.get(name, 0) + 1
         fields = msg.id_field_count()
         if fields > self.max_id_fields:
             self.max_id_fields = fields
-        self.total_bits += message_bits(msg, self.n)
+        self.total_bits += MESSAGE_TYPE_BITS + fields * self._id_bits
 
     def record_delivery(self, depth: int, time: float) -> None:
         self.deliveries += 1

@@ -16,11 +16,20 @@ repair):
 
 The engine enforces a hard *event budget* so a livelocked protocol fails
 fast with :class:`~repro.errors.TerminationError` instead of spinning.
+
+The event loop has two shapes: a fast path used when no trace recorder
+and no monitors are attached (the sweep-harness configuration), which
+pops raw heap tuples and keeps the hot names in locals, and a general
+path that additionally emits trace records and runs periodic monitors.
+Both consume the identical ``(time, seq)``-ordered queue, so event
+ordering — and therefore every metric — is byte-for-byte the same
+whichever loop runs.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
+from heapq import heappop
 
 from ..errors import SimulationError, TerminationError
 from ..graphs.graph import Graph
@@ -35,6 +44,9 @@ __all__ = ["Network", "ProcessFactory"]
 
 #: A process factory: called as ``factory(ctx)`` for every node.
 ProcessFactory = type[Process] | object
+
+_START = EventKind.START
+_DELIVER = EventKind.DELIVER
 
 
 class Network:
@@ -81,19 +93,23 @@ class Network:
         self.trace = trace
         self.delay = delay if delay is not None else UnitDelay()
         self.delay.bind(seed)
+        # Unit delays make per-link delivery times inherently non-decreasing
+        # (global time is), so the FIFO clamp is skipped on that path.
+        self._unit_delay = type(self.delay) is UnitDelay
         self.monitors = tuple(monitors)
         self.monitor_interval = int(monitor_interval)
         self._clocks: dict[int, int] = {u: 0 for u in graph.nodes()}
         self._fifo_floor: dict[tuple[int, int], float] = {}
         self._in_flight = 0
         self.processes: dict[int, Process] = {}
+        now_fn = self.queue.get_now
         for u in graph.nodes():
             ctx = NodeContext(
                 node_id=u,
                 neighbors=tuple(sorted(graph.neighbors(u))),
             )
             ctx._send = self._send
-            ctx._now = lambda: self.queue.now
+            ctx._now = now_fn
             ctx._mark = self._make_marker()
             self.processes[u] = factory(ctx)  # type: ignore[operator]
         starts = dict(start_times or {})
@@ -101,7 +117,7 @@ class Network:
         if unknown:
             raise SimulationError(f"start_times for unknown nodes {sorted(unknown)}")
         for u in graph.nodes():
-            self.queue.push(starts.get(u, 0.0), EventKind.START, target=u)
+            self.queue.push_raw(starts.get(u, 0.0), _START, target=u)
 
     # -- wiring ------------------------------------------------------------
 
@@ -114,21 +130,26 @@ class Network:
     def _send(self, src: int, dst: int, msg: Message) -> None:
         if not isinstance(msg, Message):
             raise SimulationError(f"payload must be a Message, got {type(msg)!r}")
-        now = self.queue.now
-        latency = self.delay.sample(src, dst)
-        if latency <= 0:
-            raise SimulationError(f"delay model produced non-positive latency {latency}")
-        deliver_at = now + latency
-        # FIFO repair: clamp to the last scheduled delivery on this link.
-        key = (src, dst)
-        floor = self._fifo_floor.get(key, 0.0)
-        if deliver_at < floor:
-            deliver_at = floor
-        self._fifo_floor[key] = deliver_at
+        queue = self.queue
+        now = queue._now
+        if self._unit_delay:
+            deliver_at = now + 1.0
+        else:
+            latency = self.delay.sample(src, dst)
+            if latency <= 0:
+                raise SimulationError(
+                    f"delay model produced non-positive latency {latency}"
+                )
+            deliver_at = now + latency
+            # FIFO repair: clamp to the last scheduled delivery on this link.
+            floors = self._fifo_floor
+            key = (src, dst)
+            floor = floors.get(key, 0.0)
+            if deliver_at < floor:
+                deliver_at = floor
+            floors[key] = deliver_at
         depth = self._clocks[src] + 1
-        self.queue.push(
-            deliver_at, EventKind.DELIVER, target=dst, sender=src, payload=msg, depth=depth
-        )
+        queue.push_raw(deliver_at, _DELIVER, dst, src, msg, depth)
         self._in_flight += 1
         self.stats.record_send(msg)
         if self.trace is not None:
@@ -161,34 +182,75 @@ class Network:
         protocols in this library terminate by process, so hitting the cap
         is always a bug.
         """
+        if self.trace is None and not self.monitors:
+            processed = self._run_fast(max_events)
+        else:
+            processed = self._run_general(max_events)
+        # final monitor sweep at quiescence
+        for monitor in self.monitors:
+            monitor(self)  # type: ignore[operator]
+        return SimulationReport.from_stats(self.stats, processed, quiescent=True)
+
+    def _run_fast(self, max_events: int) -> int:
+        """Inner loop with no tracing and no monitors attached."""
+        queue = self.queue
+        heap = queue._heap
+        processes = self.processes
+        clocks = self._clocks
+        stats = self.stats
         processed = 0
-        while self.queue:
-            ev = self.queue.pop()
+        while heap:
+            time, _seq, kind, target, sender, payload, depth = heappop(heap)
+            queue._now = time
             processed += 1
             if processed > max_events:
                 raise TerminationError(
                     f"event budget {max_events} exhausted; protocol livelock?"
                 )
-            proc = self.processes[ev.target]
-            if ev.kind is EventKind.START:
-                if self.trace is not None:
-                    self.trace.emit(TraceRecord(ev.time, "start", -1, ev.target, None))
+            proc = processes[target]
+            if kind is _START:
                 proc.on_start()
             else:
                 self._in_flight -= 1
-                clock = self._clocks[ev.target]
-                if ev.depth > clock:
-                    self._clocks[ev.target] = ev.depth
-                self.stats.record_delivery(ev.depth, ev.time)
-                if self.trace is not None:
-                    self.trace.emit(
-                        TraceRecord(ev.time, "deliver", ev.sender, ev.target, ev.payload)
-                    )
-                proc.on_message(ev.sender, ev.payload)
-            if self.monitors and processed % self.monitor_interval == 0:
-                for monitor in self.monitors:
+                if depth > clocks[target]:
+                    clocks[target] = depth
+                # inlined MessageStats.record_delivery
+                stats.deliveries += 1
+                if depth > stats.max_causal_depth:
+                    stats.max_causal_depth = depth
+                if time > stats.max_sim_time:
+                    stats.max_sim_time = time
+                proc.on_message(sender, payload)
+        return processed
+
+    def _run_general(self, max_events: int) -> int:
+        """Inner loop that also emits trace records and runs monitors."""
+        queue = self.queue
+        trace = self.trace
+        monitors = self.monitors
+        monitor_interval = self.monitor_interval
+        processed = 0
+        while queue:
+            time, _seq, kind, target, sender, payload, depth = queue.pop_raw()
+            processed += 1
+            if processed > max_events:
+                raise TerminationError(
+                    f"event budget {max_events} exhausted; protocol livelock?"
+                )
+            proc = self.processes[target]
+            if kind is _START:
+                if trace is not None:
+                    trace.emit(TraceRecord(time, "start", -1, target, None))
+                proc.on_start()
+            else:
+                self._in_flight -= 1
+                if depth > self._clocks[target]:
+                    self._clocks[target] = depth
+                self.stats.record_delivery(depth, time)
+                if trace is not None:
+                    trace.emit(TraceRecord(time, "deliver", sender, target, payload))
+                proc.on_message(sender, payload)
+            if monitors and processed % monitor_interval == 0:
+                for monitor in monitors:
                     monitor(self)  # type: ignore[operator]
-        # final monitor sweep at quiescence
-        for monitor in self.monitors:
-            monitor(self)  # type: ignore[operator]
-        return SimulationReport.from_stats(self.stats, processed, quiescent=True)
+        return processed

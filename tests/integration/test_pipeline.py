@@ -1,6 +1,7 @@
 """Integration tests: the full stack on realistic scenarios, plus the
 examples as executable documentation."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -75,11 +76,17 @@ class TestEndToEnd:
 class TestExamplesRun:
     @pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
     def test_example_runs_clean(self, script):
+        # examples import repro from the source tree whether or not the
+        # package is installed: extend PYTHONPATH with src explicitly
+        src = str(Path(__file__).parents[2] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         proc = subprocess.run(
             [sys.executable, str(script)],
             capture_output=True,
             text=True,
             timeout=300,
+            env=env,
         )
         assert proc.returncode == 0, proc.stderr[-2000:]
         assert proc.stdout.strip()

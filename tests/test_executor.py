@@ -1,0 +1,164 @@
+"""Execution backends: serial/parallel determinism, the disk result
+cache, sweep-cell enumeration, and eager sweep-axis validation."""
+
+import pytest
+
+from repro.analysis import (
+    CachingExecutor,
+    ParallelExecutor,
+    ResultCache,
+    RunRecord,
+    RunSpec,
+    SerialExecutor,
+    SweepSpec,
+    cache_key,
+    make_executor,
+    run_single,
+    run_sweep,
+)
+from repro.errors import AnalysisError
+from repro.graphs import gnp_connected
+from repro.mdst import run_mdst
+from repro.sim import UniformDelay
+from repro.spanning import build_spanning_tree
+
+SPEC = SweepSpec(
+    families=("gnp_sparse",),
+    sizes=(10, 12),
+    seeds=(0, 1),
+    delays=("uniform",),
+)
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self):
+        cells = SPEC.cells()
+        serial = SerialExecutor().run(cells)
+        parallel = ParallelExecutor(jobs=4).run(cells)
+        assert parallel == serial
+
+    def test_run_sweep_jobs_matches_serial(self):
+        assert run_sweep(SPEC, jobs=4) == run_sweep(SPEC)
+
+    def test_random_delay_reports_reproduce(self):
+        graph = gnp_connected(12, 0.3, seed=5)
+        tree = build_spanning_tree(graph, method="greedy_hub").tree
+        reports = [
+            run_mdst(graph, tree, seed=7, delay=UniformDelay()).report
+            for _ in range(2)
+        ]
+        assert reports[0] == reports[1]
+
+
+class TestCells:
+    def test_cell_grid_order_and_count(self):
+        spec = SweepSpec(
+            families=("complete", "ring"),
+            sizes=(8,),
+            seeds=(0, 1),
+            modes=("concurrent", "single"),
+            max_rounds=3,
+        )
+        cells = spec.cells()
+        assert len(cells) == 8
+        assert cells[0] == RunSpec(
+            family="complete", n=8, seed=0, mode="concurrent", max_rounds=3
+        )
+        # seeds vary fastest, families slowest (the historical sweep order)
+        assert [c.seed for c in cells[:2]] == [0, 1]
+        assert cells[-1].family == "ring"
+
+    def test_runspec_json_roundtrip(self):
+        spec = RunSpec(family="ring", n=9, seed=3, delay="perlink", max_rounds=2)
+        assert RunSpec.from_json_dict(spec.to_json_dict()) == spec
+
+
+class TestValidation:
+    def test_unknown_family_fails_fast(self):
+        with pytest.raises(AnalysisError, match="gnp_sparse"):
+            SweepSpec(families=("nope",))
+
+    def test_unknown_mode_fails_fast(self):
+        with pytest.raises(AnalysisError, match="concurrent"):
+            SweepSpec(modes=("turbo",))
+
+    def test_unknown_delay_fails_fast(self):
+        with pytest.raises(AnalysisError, match="uniform"):
+            SweepSpec(delays=("warp",))
+
+    def test_unknown_initial_method_fails_fast(self):
+        with pytest.raises(AnalysisError, match="echo"):
+            SweepSpec(initial_methods=("magic",))
+
+    def test_bad_sizes_fail_fast(self):
+        with pytest.raises(AnalysisError, match="sizes"):
+            SweepSpec(sizes=(16, 0))
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(AnalysisError):
+            ParallelExecutor(jobs=0)
+
+
+class TestMaxRoundsRecorded:
+    def test_run_single_records_max_rounds(self):
+        rec = run_single("gnp_sparse", 12, seed=0, max_rounds=2)
+        assert rec.max_rounds == 2
+        assert rec.rounds <= 2
+
+    def test_sweep_records_carry_max_rounds(self):
+        spec = SweepSpec(families=("complete",), sizes=(8,), seeds=(0,), max_rounds=1)
+        (rec,) = run_sweep(spec)
+        assert rec.max_rounds == 1
+
+    def test_legacy_record_dict_still_loads(self):
+        rec = run_single("gnp_sparse", 10, seed=0)
+        data = rec.to_json_dict()
+        del data["max_rounds"]  # record saved before the field existed
+        assert RunRecord.from_json_dict(data).max_rounds is None
+
+
+class TestResultCache:
+    def test_second_sweep_is_served_from_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = run_sweep(SPEC, cache=cache)
+        assert len(cache) == len(SPEC.cells())
+        assert cache.hits == 0
+
+        # a poisoned inner executor proves no cell is re-run
+        class Exploding:
+            def run(self, cells):
+                raise AssertionError(f"cache missed {len(cells)} cells")
+
+        second = CachingExecutor(Exploding(), cache).run(SPEC.cells())
+        assert second == first
+        assert cache.hits == len(SPEC.cells())
+
+    def test_cache_keys_are_stable_and_distinct(self):
+        a = RunSpec(family="ring", n=8, seed=0)
+        assert cache_key(a) == cache_key(RunSpec(family="ring", n=8, seed=0))
+        assert cache_key(a) != cache_key(RunSpec(family="ring", n=8, seed=1))
+
+    def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec(family="gnp_sparse", n=10, seed=0)
+        record = run_single("gnp_sparse", 10, seed=0)
+        cache.put(spec, record)
+        entry = cache._path(spec)
+        entry.write_text("{ not json", encoding="utf-8")
+        assert cache.get(spec) is None
+        cache.put(spec, record)
+        assert cache.get(spec) == record
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(RunSpec(family="ring", n=8, seed=0), run_single("ring", 8, seed=0))
+        assert len(cache) == 1
+        assert cache.clear() == 1
+        assert len(cache) == 0
+
+    def test_make_executor_shapes(self, tmp_path):
+        assert isinstance(make_executor(), SerialExecutor)
+        assert isinstance(make_executor(jobs=4), ParallelExecutor)
+        combined = make_executor(jobs=4, cache=tmp_path)
+        assert isinstance(combined, CachingExecutor)
+        assert isinstance(combined.inner, ParallelExecutor)

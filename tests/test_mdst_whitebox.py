@@ -205,3 +205,33 @@ class TestErrorPaths:
         proc = MDSTProcess(ctx, parent=1, children=set(), config=Cfg())
         with pytest.raises(ProtocolError):
             proc.on_message(2, Search(reset=False, single=False))
+
+
+class TestCutterCrossReplyRace:
+    """Regression: a cutter must not finish its round while its own
+    CousinReply is still in flight — the reply would land in the next
+    round's fresh state and raise "unexpected CousinReply".
+
+    Found by hypothesis under exponential delays; the instances below
+    reproduced it deterministically before the `_maybe_cutter_choose`
+    gate (cut-children echoes AND the cutter's own cross replies must
+    both drain before choosing).
+    """
+
+    @pytest.mark.parametrize("sched_seed", [1, 2, 15, 19])
+    def test_late_cousin_reply_to_round_root(self, sched_seed):
+        from repro.spanning import random_spanning_tree
+
+        graph = gnp_connected(6, 0.3, seed=3)
+        tree = random_spanning_tree(graph, seed=0)
+        res = run_mdst(
+            graph,
+            tree,
+            config=MDSTConfig(mode="concurrent"),
+            delay=ExponentialDelay(),
+            seed=sched_seed,
+            check_invariants=True,
+        )
+        assert res.final_tree.is_spanning_tree_of(graph)
+        assert res.final_degree <= res.initial_degree
+        assert res.report.quiescent

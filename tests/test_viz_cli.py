@@ -129,13 +129,20 @@ class TestCli:
         assert "MDegST sweep" in out
 
     def test_entrypoint_module(self):
+        import os
         import subprocess
         import sys
+        from pathlib import Path
 
+        # run from the source tree whether or not the package is installed
+        src = str(Path(__file__).parents[1] / "src")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
         proc = subprocess.run(
             [sys.executable, "-m", "repro", "families"],
             capture_output=True,
             text=True,
+            env=env,
         )
         assert proc.returncode == 0
         assert "ring" in proc.stdout
