@@ -13,6 +13,9 @@ Sweep-heavy benches honor two execution knobs:
     Disk result cache; reruns skip completed cells. Point successive
     invocations at the same DIR to iterate on table formatting without
     paying for the runs again.
+``--scale K``
+    Size multiplier for scale-aware benches (default 1 — the CI smoke
+    configuration).
 """
 
 from __future__ import annotations
@@ -40,6 +43,13 @@ def pytest_addoption(parser):
         metavar="DIR",
         help="result-cache directory for sweep-backed benchmarks",
     )
+    group.addoption(
+        "--scale",
+        action="store",
+        type=int,
+        default=1,
+        help="size multiplier for scale-aware benchmarks",
+    )
 
 
 @pytest.fixture(scope="session")
@@ -50,6 +60,11 @@ def sweep_jobs(request) -> int:
 @pytest.fixture(scope="session")
 def sweep_cache(request) -> str | None:
     return request.config.getoption("--cache")
+
+
+@pytest.fixture(scope="session")
+def scale(request) -> int:
+    return request.config.getoption("--scale")
 
 
 @pytest.fixture(scope="session")

@@ -8,7 +8,10 @@ subpackages for the full API:
 * :mod:`repro.graphs` — topology objects and workload generators
 * :mod:`repro.sim` — the asynchronous message-passing network simulator
 * :mod:`repro.spanning` — distributed spanning-tree construction (startup)
+* :mod:`repro.protocol` — reusable distributed-protocol primitives
 * :mod:`repro.mdst` — the paper's MDegST protocol
+* :mod:`repro.algorithms` — pluggable algorithm registry (Blin–Butelle,
+  FR-style local improvement, ...)
 * :mod:`repro.sequential` — Fürer–Raghavachari / exact baselines
 * :mod:`repro.verify` — spanning-tree & local-optimality certification
 * :mod:`repro.analysis` — experiment harness and table rendering
@@ -25,6 +28,9 @@ _LAZY = {
     "MDSTConfig": ("repro.mdst", "MDSTConfig"),
     "MDSTResult": ("repro.mdst", "MDSTResult"),
     "build_spanning_tree": ("repro.spanning", "build_spanning_tree"),
+    "run_algorithm": ("repro.algorithms", "run_algorithm"),
+    "algorithm_names": ("repro.algorithms", "algorithm_names"),
+    "register_algorithm": ("repro.algorithms", "register_algorithm"),
     "fuerer_raghavachari": ("repro.sequential", "fuerer_raghavachari"),
     "exact_minimum_degree_spanning_tree": (
         "repro.sequential",

@@ -29,7 +29,9 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = ["ResultCache", "CACHE_SCHEMA_VERSION", "cache_key"]
 
 #: Bump when RunRecord/RunSpec semantics change: old entries become misses.
-CACHE_SCHEMA_VERSION = 1
+#: v2: records/specs gained the ``algorithm`` axis (registry PR); also
+#: retires any v1 entries predating the PR 1 cutter cross-reply race fix.
+CACHE_SCHEMA_VERSION = 2
 
 
 def cache_key(spec: "RunSpec") -> str:

@@ -24,6 +24,7 @@ from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import Any, Protocol, Sequence, runtime_checkable
 
+from ..algorithms.registry import DEFAULT_ALGORITHM
 from ..errors import AnalysisError
 from .cache import ResultCache
 from .records import RunRecord
@@ -55,6 +56,7 @@ class RunSpec:
     mode: str = "concurrent"
     delay: str = "unit"
     max_rounds: int | None = None
+    algorithm: str = DEFAULT_ALGORITHM
 
     def to_json_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -76,6 +78,7 @@ def execute_cell(spec: RunSpec) -> RunRecord:
         mode=spec.mode,
         delay=spec.delay,
         max_rounds=spec.max_rounds,
+        algorithm=spec.algorithm,
     )
 
 

@@ -1,5 +1,6 @@
-"""Sweep harness: run the protocol across (family × size × seed × config)
-grids and collect :class:`~repro.analysis.records.RunRecord` rows.
+"""Sweep harness: run any registered algorithm across
+(family × size × seed × config × algorithm) grids and collect
+:class:`~repro.analysis.records.RunRecord` rows.
 
 This is the engine behind every benchmark table: a
 :class:`SweepSpec` fully determines its records (seeded, deterministic).
@@ -14,10 +15,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..algorithms import DEFAULT_ALGORITHM, algorithm_names, get_algorithm
 from ..errors import AnalysisError
 from ..graphs.generators import FAMILIES, make_family
-from ..mdst.algorithm import run_mdst
-from ..mdst.config import MODES, MDSTConfig
+from ..mdst.config import MODES
 from ..sim.delays import DELAY_NAMES, delay_model_from_name
 from ..spanning.provider import (
     CENTRALIZED_METHODS,
@@ -47,7 +48,9 @@ class SweepSpec:
 
     Attributes mirror the axes of the paper's claims: topology family and
     size (n, m), initial-tree construction (the paper's startup phase),
-    protocol mode, delay model, and seeds for everything stochastic.
+    protocol mode, delay model, seeds for everything stochastic — plus
+    the ``algorithms`` axis over the :mod:`repro.algorithms` registry
+    for head-to-head comparisons.
 
     Axes are validated eagerly — a typo'd family or delay name fails at
     construction with the valid choices, not minutes into a sweep.
@@ -59,6 +62,7 @@ class SweepSpec:
     initial_methods: tuple[str, ...] = ("echo",)
     modes: tuple[str, ...] = ("concurrent",)
     delays: tuple[str, ...] = ("unit",)
+    algorithms: tuple[str, ...] = (DEFAULT_ALGORITHM,)
     max_rounds: int | None = None
 
     def __post_init__(self) -> None:
@@ -69,12 +73,14 @@ class SweepSpec:
             and self.initial_methods
             and self.modes
             and self.delays
+            and self.algorithms
         ):
             raise AnalysisError("sweep axes must be non-empty")
         _check_axis(self.families, tuple(FAMILIES), "family")
         _check_axis(self.initial_methods, _INITIAL_METHODS, "initial method")
         _check_axis(self.modes, MODES, "mode")
         _check_axis(self.delays, DELAY_NAMES, "delay model")
+        _check_axis(self.algorithms, algorithm_names(), "algorithm")
         bad_sizes = [n for n in self.sizes if n < 1]
         if bad_sizes:
             raise AnalysisError(f"sizes must be >= 1, got {bad_sizes!r}")
@@ -90,12 +96,14 @@ class SweepSpec:
                 mode=mode,
                 delay=delay,
                 max_rounds=self.max_rounds,
+                algorithm=algorithm,
             )
             for family in self.families
             for n in self.sizes
             for method in self.initial_methods
             for mode in self.modes
             for delay in self.delays
+            for algorithm in self.algorithms
             for seed in self.seeds
         )
 
@@ -109,14 +117,16 @@ def run_single(
     mode: str = "concurrent",
     delay: str = "unit",
     max_rounds: int | None = None,
+    algorithm: str = DEFAULT_ALGORITHM,
 ) -> RunRecord:
     """Run one configuration and flatten it into a record."""
     graph = make_family(family, n, seed=seed)
     startup = build_spanning_tree(graph, method=initial_method, seed=seed)
-    result = run_mdst(
+    result = get_algorithm(algorithm).run(
         graph,
         startup.tree,
-        config=MDSTConfig(mode=mode, max_rounds=max_rounds),
+        mode=mode,
+        max_rounds=max_rounds,
         seed=seed,
         delay=delay_model_from_name(delay),
     )
@@ -128,6 +138,7 @@ def run_single(
         initial_method=initial_method,
         mode=mode,
         delay=delay,
+        algorithm=algorithm,
         k_initial=result.initial_degree,
         k_final=result.final_degree,
         rounds=result.num_rounds,

@@ -12,6 +12,8 @@ from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Any
 
+from ..algorithms.registry import DEFAULT_ALGORITHM
+
 __all__ = ["RunRecord", "save_records", "load_records"]
 
 
@@ -35,6 +37,9 @@ class RunRecord:
     max_msg_fields: int
     startup_messages: int = 0
     max_rounds: int | None = None
+    #: which registered algorithm produced the run (records saved before
+    #: the registry existed load as the Blin–Butelle default)
+    algorithm: str = DEFAULT_ALGORITHM
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property

@@ -4,6 +4,7 @@ Subcommands
 -----------
 ``run``       one protocol run with a summary and optional tree rendering
 ``sweep``     a small sweep printed as a paper-style table
+``compare``   head-to-head of registered algorithms on one instance
 ``exact``     ground-truth Δ* for a small instance
 ``families``  list available workload families
 ``certify``   run + certification against the paper's claims
@@ -14,12 +15,12 @@ from __future__ import annotations
 import argparse
 import sys
 
+from .algorithms import DEFAULT_ALGORITHM, algorithm_names, get_algorithm
 from .analysis.cache import ResultCache
 from .analysis.harness import SweepSpec, run_single, run_sweep
 from .analysis.tables import Table
 from .graphs.generators import FAMILIES, make_family
-from .mdst.algorithm import run_mdst
-from .mdst.config import MODES, MDSTConfig
+from .mdst.config import MODES
 from .sequential.exact import optimal_degree
 from .sim.delays import DELAY_NAMES, delay_model_from_name
 from .spanning.provider import (
@@ -55,6 +56,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--mode", default="concurrent", choices=list(MODES))
     sweep_p.add_argument("--delay", default="unit", choices=list(DELAY_NAMES))
     sweep_p.add_argument(
+        "--algorithm",
+        nargs="+",
+        default=[DEFAULT_ALGORITHM],
+        choices=list(algorithm_names()),
+        metavar="NAME",
+        help=(
+            "registered algorithm(s) to sweep; one table row per "
+            f"(algorithm, cell). Registered: {', '.join(algorithm_names())}"
+        ),
+    )
+    sweep_p.add_argument(
         "--jobs",
         type=int,
         default=1,
@@ -65,6 +77,36 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="DIR",
         help="result-cache directory; completed cells are not re-run",
+    )
+
+    compare_p = sub.add_parser(
+        "compare",
+        help="run registered algorithms head-to-head on one instance",
+    )
+    compare_p.add_argument("--family", default="gnp_sparse")
+    compare_p.add_argument("--n", type=int, default=24)
+    compare_p.add_argument("--seed", type=int, default=0)
+    compare_p.add_argument(
+        "--initial",
+        default="echo",
+        choices=list(DISTRIBUTED_METHODS + CENTRALIZED_METHODS),
+    )
+    compare_p.add_argument("--delay", default="unit", choices=list(DELAY_NAMES))
+    compare_p.add_argument(
+        "--algorithm",
+        nargs="+",
+        default=None,
+        choices=list(algorithm_names()),
+        metavar="NAME",
+        help=(
+            "algorithm(s) to compare (default: all). Registered: "
+            f"{', '.join(algorithm_names())}"
+        ),
+    )
+    compare_p.add_argument(
+        "--exact",
+        action="store_true",
+        help="also solve the instance exactly (small n only)",
     )
 
     exact_p = sub.add_parser("exact", help="ground-truth optimal degree (small n)")
@@ -97,15 +139,22 @@ def _common_axes(p: argparse.ArgumentParser) -> None:
     )
     p.add_argument("--mode", default="concurrent", choices=list(MODES))
     p.add_argument("--delay", default="unit", choices=list(DELAY_NAMES))
+    p.add_argument(
+        "--algorithm",
+        default=DEFAULT_ALGORITHM,
+        choices=list(algorithm_names()),
+        metavar="NAME",
+        help=f"distributed algorithm ({', '.join(algorithm_names())})",
+    )
 
 
 def _run_once(args: argparse.Namespace):
     graph = make_family(args.family, args.n, seed=args.seed)
     startup = build_spanning_tree(graph, method=args.initial, seed=args.seed)
-    result = run_mdst(
+    result = get_algorithm(args.algorithm).run(
         graph,
         startup.tree,
-        config=MDSTConfig(mode=args.mode),
+        mode=args.mode,
         seed=args.seed,
         delay=delay_model_from_name(args.delay),
     )
@@ -150,6 +199,38 @@ def main(argv: list[str] | None = None) -> int:
         print(text)
         return 0
 
+    if args.command == "compare":
+        graph = make_family(args.family, args.n, seed=args.seed)
+        startup = build_spanning_tree(graph, method=args.initial, seed=args.seed)
+        names = tuple(args.algorithm or algorithm_names())
+        table = Table(
+            ["algorithm", "k0", "k*", "rounds", "msgs", "bits", "time"],
+            title=(
+                f"algorithm comparison — {args.family} n={graph.n} "
+                f"m={graph.m} seed={args.seed}"
+            ),
+        )
+        for name in names:
+            result = get_algorithm(name).run(
+                graph,
+                startup.tree,
+                seed=args.seed,
+                delay=delay_model_from_name(args.delay),
+            )
+            table.add(
+                name,
+                result.initial_degree,
+                result.final_degree,
+                result.num_rounds,
+                result.messages,
+                result.report.total_bits,
+                result.causal_time,
+            )
+        print(table.render())
+        if args.exact:
+            print(f"exact optimum: Δ* = {optimal_degree(graph)}")
+        return 0
+
     if args.command == "sweep":
         spec = SweepSpec(
             families=tuple(args.families),
@@ -158,17 +239,21 @@ def main(argv: list[str] | None = None) -> int:
             initial_methods=(args.initial,),
             modes=(args.mode,),
             delays=(args.delay,),
+            algorithms=tuple(args.algorithm),
         )
         cache = ResultCache(args.cache) if args.cache else None
         records = run_sweep(spec, jobs=args.jobs, cache=cache)
         table = Table(
-            ["family", "n", "m", "seed", "k0", "k*", "rounds", "msgs", "time"],
+            [
+                "algorithm", "family", "n", "m", "seed", "k0", "k*",
+                "rounds", "msgs", "time",
+            ],
             title="MDegST sweep",
         )
         for r in records:
             table.add(
-                r.family, r.n, r.m, r.seed, r.k_initial, r.k_final,
-                r.rounds, r.messages, r.causal_time,
+                r.algorithm, r.family, r.n, r.m, r.seed, r.k_initial,
+                r.k_final, r.rounds, r.messages, r.causal_time,
             )
         print(table.render())
         if cache is not None:

@@ -14,10 +14,10 @@ from ..sim.network import Network
 from ..sim.trace import TraceRecorder
 from ..spanning.provider import build_spanning_tree
 from .config import MDSTConfig
-from .node import MDSTProcess, make_mdst_factory
+from .node import make_mdst_factory
 from .result import MDSTResult, RoundInfo
 
-__all__ = ["run_mdst"]
+__all__ = ["run_mdst", "extract_final_tree", "rounds_from_marks"]
 
 
 def run_mdst(
@@ -102,8 +102,8 @@ def run_mdst(
         monitors=monitors,
     )
     report = net.run(max_events=max_events)
-    final_tree = _extract_final_tree(net, graph)
-    rounds = _rounds_from_marks(report)
+    final_tree = extract_final_tree(net, graph)
+    rounds = rounds_from_marks(report)
 
     if final_tree.max_degree() > initial_tree.max_degree():
         raise ProtocolError(
@@ -119,11 +119,13 @@ def run_mdst(
     )
 
 
-def _extract_final_tree(net: Network, graph: Graph) -> RootedTree:
+def extract_final_tree(net: Network, graph: Graph) -> RootedTree:
+    """Read the final tree off any protocol whose processes expose
+    ``parent`` / ``children`` / ``terminated`` (shared by every algorithm
+    in :mod:`repro.algorithms`), with full post-hoc certification."""
     parents: dict[int, int | None] = {}
     roots = []
     for u, proc in net.processes.items():
-        assert isinstance(proc, MDSTProcess)
         if not proc.terminated:
             raise ProtocolError(f"node {u} never terminated")
         parents[u] = proc.parent
@@ -146,7 +148,7 @@ def _extract_final_tree(net: Network, graph: Graph) -> RootedTree:
     return tree
 
 
-def _rounds_from_marks(report: SimulationReport) -> tuple[RoundInfo, ...]:
+def rounds_from_marks(report: SimulationReport) -> tuple[RoundInfo, ...]:
     """Pair the root's round / round_end marks into RoundInfo entries.
 
     Per-round message counts come from the ``_messages_so_far`` stamps the

@@ -16,7 +16,10 @@ Paper step → message map
                    fragment root's candidate forwarded to its cutter)
 * Choose/update  → :class:`Update` (⟨update, e⟩), :class:`ChildMsg`
                    (⟨child⟩), :class:`FlipBack`/:class:`ExchangeDone`
-                   (path-reversal commit — repair, see DESIGN.md §4.2)
+                   (path-reversal commit — repair, see DESIGN.md §4.2;
+                   defined by :mod:`repro.protocol.exchange`, the commit
+                   machinery shared with the other registered algorithms,
+                   and re-exported here as the canonical vocabulary)
 * §3.2.6 stop    → :class:`ImproveReport` (improved/stuck toward the root)
 * termination    → :class:`Terminate`
 """
@@ -25,6 +28,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..protocol.exchange import (  # noqa: F401 - canonical re-export
+    ChildAck,
+    ChildMsg,
+    ExchangeDone,
+    FlipBack,
+    Update,
+)
 from ..sim.messages import Message
 
 __all__ = [
@@ -152,40 +162,6 @@ class WaveEcho(Message):
     local: int | None
     remote: int | None
     deg: int | None
-
-
-@dataclass(frozen=True, slots=True)
-class Update(Message):
-    """⟨update, e⟩ — travels from the cutter down recorded via-pointers
-    to the local endpoint of the chosen edge ``(local, remote)``."""
-
-    local: int
-    remote: int
-
-
-@dataclass(frozen=True, slots=True)
-class ChildMsg(Message):
-    """⟨child⟩ — the local endpoint attaches under the remote endpoint."""
-
-
-@dataclass(frozen=True, slots=True)
-class ChildAck(Message):
-    """Acknowledgement of ⟨child⟩ (repair: the exchange commit must not
-    outrun the new parent's bookkeeping, or the next round's Search could
-    miss the freshly attached child under asynchronous delays)."""
-
-
-@dataclass(frozen=True, slots=True)
-class FlipBack(Message):
-    """Commit pass of the fragment re-rooting: flips parent/child one hop
-    at a time from the attach point back to the old fragment root (repair:
-    avoids the transient parent cycles of the paper's down-flip)."""
-
-
-@dataclass(frozen=True, slots=True)
-class ExchangeDone(Message):
-    """Old fragment root → cutter: the exchange committed; the cutter
-    drops the cut child and its degree decreases by one."""
 
 
 @dataclass(frozen=True, slots=True)

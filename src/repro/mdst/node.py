@@ -32,11 +32,27 @@ Round structure (driven by the current root):
 Invariants maintained at *every* instant (checked by monitors in tests):
 parent pointers form a tree spanning all nodes; the tree's maximum degree
 never increases; every tree edge is a graph edge.
+
+The bookkeeping discipline of each step is delegated to the
+``repro.protocol`` primitives — :class:`~repro.protocol.Convergecast`
+for SearchDegree, :class:`~repro.protocol.WaveEchoTracker` for the
+fragment waves and the cutter's aggregation,
+:class:`~repro.protocol.RootMigration` for the MoveRoot handshake and
+:class:`~repro.protocol.CountdownBarrier` for the round barrier — while
+this class keeps ownership of message construction and send order
+(byte-identical traces, enforced by ``tests/test_protocol_regression``).
 """
 
 from __future__ import annotations
 
 from ..errors import ProtocolError
+from ..protocol import (
+    Convergecast,
+    CountdownBarrier,
+    ExchangeMixin,
+    RootMigration,
+    WaveEchoTracker,
+)
 from ..sim.messages import Message
 from ..sim.node import NodeContext, Process
 from .config import MDSTConfig
@@ -58,7 +74,7 @@ from .messages import (
     WaveEcho,
 )
 
-__all__ = ["MDSTProcess", "make_mdst_factory"]
+__all__ = ["DegreeAggregate", "MDSTProcess", "make_mdst_factory"]
 
 FragId = tuple[int, int]
 #: aggregate = (degree, node-id); "better" = higher degree, then lower id
@@ -74,7 +90,42 @@ def _better(a: Agg | None, b: Agg | None) -> bool:
     return (a[0], -a[1]) > (b[0], -b[1])
 
 
-class MDSTProcess(Process):
+class DegreeAggregate:
+    """Pluggable SearchDegree aggregation for the tree convergecast.
+
+    Tracks the subtree's (max degree, min-id holder) aggregate, the
+    holder count (concurrent-mode barrier), the same aggregate restricted
+    to non-stuck nodes (single-mode target selection), and *via* pointers
+    recording which child reported each winner — the routing state the
+    MoveRoot / ImproveOrder walks follow afterwards.
+    """
+
+    __slots__ = ("max", "count", "elig", "via_max", "via_elig")
+
+    def __init__(self, own: Agg, stuck: bool) -> None:
+        self.max: Agg = own
+        self.count = 1
+        self.elig: Agg | None = None if stuck else own
+        self.via_max: int | None = None  # None = self
+        self.via_elig: int | None = None
+
+    def absorb(self, child: int, msg: DegreeReport) -> None:
+        sub: Agg = (msg.deg, msg.node)
+        if sub[0] > self.max[0]:
+            self.count = msg.count or 0
+        elif sub[0] == self.max[0]:
+            self.count += msg.count or 0
+        if _better(sub, self.max):
+            self.max = sub
+            self.via_max = child
+        if msg.elig_deg is not None and msg.elig_node is not None:
+            esub: Agg = (msg.elig_deg, msg.elig_node)
+            if _better(esub, self.elig):
+                self.elig = esub
+                self.via_elig = child
+
+
+class MDSTProcess(ExchangeMixin, Process):
     """One network node running the MDegST protocol."""
 
     def __init__(
@@ -96,9 +147,11 @@ class MDSTProcess(Process):
         # -- coordinator state (valid when this node roots the round) --
         self.is_coordinator = False
         self.coord_k = 0
-        self.barrier_pending = 0
+        self.barrier: CountdownBarrier | None = None
         self.improved_any = False
         self.improved_count = 0
+        # -- MoveRoot handoff state (cleared by the ack, not by round reset) --
+        self.migration = RootMigration()
         # -- per-round state --
         self._reset_round_state()
 
@@ -108,35 +161,20 @@ class MDSTProcess(Process):
 
     def _reset_round_state(self) -> None:
         self.my_deg = 0
-        # SearchDegree aggregation
-        self.pending_reports: set[int] = set()
-        self.agg_max: Agg | None = None
-        self.agg_count = 0
-        self.agg_elig: Agg | None = None
-        self.via_max: int | None = None  # None = self
-        self.via_elig: int | None = None
-        # fragment membership
+        # SearchDegree convergecast (None until the round's Search arrives)
+        self.search: Convergecast | None = None
+        # fragment membership wave (unarmed until a fragment id is adopted)
         self.frag: FragId | None = None
         self.round_k = 0
         self.got_cut = False
-        self.expected_echo: set[int] = set()
-        self.expected_cross: set[int] = set()
-        self.best: tuple[int, int, int] | None = None  # (degmax, local, remote)
-        self.via_best: int | None = None  # child holding best; None = self
-        self.echoed = False
-        self.deferred_waves: list[tuple[int, int, int, int]] = []
-        # cutter role
+        self.wave = WaveEchoTracker(name=f"{self.node_id}:wave")
+        # cutter role (the cutter aggregates its cut fragments' echoes)
         self.is_cutter = False
         self.cutter_k = 0
-        self.cut_pending: set[int] = set()
-        self.cut_candidates: list[tuple[int, int, int, int]] = []  # (deg,l,r,child)
-        self.cut_chosen = False
+        self.cutter_wave = WaveEchoTracker(name=f"{self.node_id}:cutter")
         self.awaiting_exchange = False
         # exchange endpoint state
         self.pending_attach: int | None = None
-        # MoveRoot handoff state (cleared by the ack, not by round reset)
-        if not hasattr(self, "pending_move_ack"):
-            self.pending_move_ack: int | None = None
 
     def degree(self) -> int:
         """Current tree degree (children + parent edge)."""
@@ -207,19 +245,19 @@ class MDSTProcess(Process):
         self._search_init()
         for c in self.children:
             self.send(c, Search(reset=reset, single=self.single))
-        if not self.pending_reports:
-            self._finish_search()
+        assert self.search is not None
+        self.search.open()
 
     def _search_init(self) -> None:
-        """Seed aggregation with this node's own degree."""
+        """Seed the convergecast with this node's own degree."""
         self.my_deg = self.degree()
         own: Agg = (self.my_deg, self.node_id)
-        self.agg_max = own
-        self.agg_count = 1
-        self.agg_elig = None if self.stuck else own
-        self.via_max = None
-        self.via_elig = None
-        self.pending_reports = set(self.children)
+        self.search = Convergecast(
+            DegreeAggregate(own, stuck=self.stuck),
+            self.children,
+            on_complete=self._search_complete,
+            name=f"{self.node_id}:search",
+        )
 
     def _on_search(self, sender: int, msg: Search) -> None:
         if sender != self.parent:
@@ -233,81 +271,63 @@ class MDSTProcess(Process):
         self._search_init()
         for c in self.children:
             self.send(c, Search(reset=msg.reset, single=msg.single))
-        if not self.pending_reports:
-            self._send_degree_report()
-
-    def _merge_report(self, child: int, msg: DegreeReport) -> None:
-        sub: Agg = (msg.deg, msg.node)
-        assert self.agg_max is not None
-        if sub[0] > self.agg_max[0]:
-            self.agg_count = msg.count or 0
-        elif sub[0] == self.agg_max[0]:
-            self.agg_count += msg.count or 0
-        if _better(sub, self.agg_max):
-            self.agg_max = sub
-            self.via_max = child
-        if msg.elig_deg is not None and msg.elig_node is not None:
-            esub: Agg = (msg.elig_deg, msg.elig_node)
-            if _better(esub, self.agg_elig):
-                self.agg_elig = esub
-                self.via_elig = child
+        assert self.search is not None
+        self.search.open()
 
     def _on_degree_report(self, sender: int, msg: DegreeReport) -> None:
-        if sender not in self.pending_reports:
+        if self.search is None:
             raise ProtocolError(
                 f"{self.node_id}: unexpected DegreeReport from {sender}"
             )
-        self._merge_report(sender, msg)
-        self.pending_reports.discard(sender)
-        if not self.pending_reports:
-            if self.is_coordinator:
-                self._finish_search()
-            else:
-                self._send_degree_report()
+        self.search.absorb(sender, msg)
 
-    def _send_degree_report(self) -> None:
-        assert self.parent is not None and self.agg_max is not None
+    def _search_complete(self, agg: DegreeAggregate) -> None:
+        """Subtree aggregation done — report up, or act as coordinator."""
+        if self.is_coordinator:
+            self._finish_search(agg)
+        else:
+            self._send_degree_report(agg)
+
+    def _send_degree_report(self, agg: DegreeAggregate) -> None:
+        assert self.parent is not None
         if self.single:
-            elig = self.agg_elig
+            elig = agg.elig
             msg = DegreeReport(
-                deg=self.agg_max[0],
-                node=self.agg_max[1],
+                deg=agg.max[0],
+                node=agg.max[1],
                 elig_deg=None if elig is None else elig[0],
                 elig_node=None if elig is None else elig[1],
             )
         else:
-            msg = DegreeReport(
-                deg=self.agg_max[0], node=self.agg_max[1], count=self.agg_count
-            )
+            msg = DegreeReport(deg=agg.max[0], node=agg.max[1], count=agg.count)
         self.send(self.parent, msg)
 
-    def _finish_search(self) -> None:
+    def _finish_search(self, agg: DegreeAggregate) -> None:
         """Coordinator: aggregation done — move the root or terminate."""
-        assert self.agg_max is not None
-        k = self.agg_max[0]
+        k = agg.max[0]
         if k <= self.config.target_degree:
             self.ctx.mark("final_k", k)
             self._terminate_all()
             return
         if self.single:
-            if self.agg_elig is None or self.agg_elig[0] < k:
+            if agg.elig is None or agg.elig[0] < k:
                 # every maximum-degree node is known stuck: local optimum
                 self.ctx.mark("final_k", k)
                 self._terminate_all()
                 return
-            target = self.agg_elig[1]
-            via = self.via_elig
+            target = agg.elig[1]
+            via = agg.via_elig
             count = None
         else:
-            target = self.agg_max[1]
-            via = self.via_max
-            count = self.agg_count
+            target = agg.max[1]
+            via = agg.via_max
+            count = agg.count
         self.ctx.mark(
             "round",
             {
                 "index": self.round_index,
                 "k": k,
-                "cutters": 1 if self.single else self.agg_count,
+                "cutters": 1 if self.single else agg.count,
                 "mode": "single" if self.single else "concurrent",
             },
         )
@@ -320,7 +340,7 @@ class MDSTProcess(Process):
             assert via is not None
             self.is_coordinator = False
             self.children.discard(via)
-            self.pending_move_ack = via
+            self.migration.depart(via)
             self.send(
                 via,
                 MoveRoot(k=k, target=target, count=count, round=self.round_index),
@@ -346,27 +366,35 @@ class MDSTProcess(Process):
                 )
             self._become_round_root(msg.k, msg.count)
             return
-        via = self.via_elig if self.single else self.via_max
+        agg = None if self.search is None else self.search.aggregate
+        via = (
+            None
+            if agg is None
+            else (agg.via_elig if self.single else agg.via_max)
+        )
         if via is None:
             raise ProtocolError(f"{self.node_id}: MoveRoot with no via pointer")
         self.children.discard(via)
-        self.pending_move_ack = via
+        self.migration.depart(via)
         self.send(
             via,
             MoveRoot(k=msg.k, target=msg.target, count=msg.count, round=msg.round),
         )
 
     def _on_move_root_ack(self, sender: int) -> None:
-        if self.pending_move_ack != sender:
+        if not self.migration.acknowledged(sender):
             raise ProtocolError(f"{self.node_id}: stray MoveRootAck from {sender}")
-        self.pending_move_ack = None
         self.parent = sender
 
     def _become_round_root(self, k: int, count: int | None) -> None:
         """The target max-degree node roots the round and starts cutting."""
         self.is_coordinator = True
         self.coord_k = k
-        self.barrier_pending = 1 if self.single else int(count or 1)
+        self.barrier = CountdownBarrier(
+            1 if self.single else int(count or 1),
+            self._round_done,
+            name=f"{self.node_id}:round-barrier",
+        )
         self.improved_any = False
         self.improved_count = 0
         self._act_as_cutter(k)
@@ -381,9 +409,7 @@ class MDSTProcess(Process):
     def _act_as_cutter(self, k: int) -> None:
         self.is_cutter = True
         self.cutter_k = k
-        self.cut_pending = set(self.children)
-        self.cut_candidates = []
-        self.cut_chosen = False
+        self.cutter_wave.arm(echo=self.children, cross=())
         for c in self.children:
             self.send(c, Cut(k=k, cutter=self.node_id))
         # choosing waits for _member_init (which always follows): the
@@ -408,9 +434,7 @@ class MDSTProcess(Process):
             self._member_init(msg.k, (msg.frag_root, msg.frag_child))
         else:
             if self.frag is None:
-                self.deferred_waves.append(
-                    (sender, msg.k, msg.frag_root, msg.frag_child)
-                )
+                self.wave.defer((sender, msg.k, msg.frag_root, msg.frag_child))
             else:
                 self._handle_cousin(sender, (msg.frag_root, msg.frag_child))
 
@@ -420,14 +444,14 @@ class MDSTProcess(Process):
             raise ProtocolError(f"{self.node_id}: second fragment id in one round")
         self.frag = frag
         self.round_k = k
-        self.best = None
-        self.via_best = None
         # cutters do not forward the wave into their (cut) children
-        self.expected_echo = set() if self.is_cutter else set(self.children)
         cross = set(self.neighbors) - self.children
         if self.parent is not None:
             cross.discard(self.parent)
-        self.expected_cross = cross
+        self.wave.arm(
+            echo=() if self.is_cutter else self.children,
+            cross=cross,
+        )
         if not self.is_cutter:
             tree_wave = BfsWave(k=k, frag_root=frag[0], frag_child=frag[1], tree=True)
             for c in self.children:
@@ -435,8 +459,7 @@ class MDSTProcess(Process):
         cross_wave = BfsWave(k=k, frag_root=frag[0], frag_child=frag[1], tree=False)
         for t in sorted(cross):
             self.send(t, cross_wave)
-        pending, self.deferred_waves = self.deferred_waves, []
-        for s, _wk, fr, fc in pending:
+        for s, _wk, fr, fc in self.wave.take_deferred():
             self._handle_cousin(s, (fr, fc))
         self._maybe_echo()
         self._maybe_cutter_choose()
@@ -453,10 +476,7 @@ class MDSTProcess(Process):
         )
 
     def _on_cousin_reply(self, sender: int, msg: CousinReply) -> None:
-        if sender not in self.expected_cross:
-            raise ProtocolError(
-                f"{self.node_id}: unexpected CousinReply from {sender}"
-            )
+        self.wave.cross_from(sender)
         assert self.frag is not None
         other = (msg.frag_root, msg.frag_child)
         k = self.round_k
@@ -468,45 +488,41 @@ class MDSTProcess(Process):
             and msg.deg <= k - 2
         ):
             cand = (max(self.degree(), msg.deg), self.node_id, sender)
-            self._consider(cand, via=None)
-        self.expected_cross.discard(sender)
+            self.wave.consider(cand, via=None)
         self._maybe_echo()
         self._maybe_cutter_choose()
-
-    def _consider(self, cand: tuple[int, int, int], via: int | None) -> None:
-        if self.best is None or cand < self.best:
-            self.best = cand
-            self.via_best = via
 
     def _maybe_echo(self) -> None:
         """All expected replies in → report the subtree's best candidate
         (exactly once per round)."""
-        if self.echoed or self.expected_echo or self.expected_cross:
-            return
         if self.parent is None:
             return  # the round root aggregates via WaveEcho from children
-        self.echoed = True
-        if self.best is None:
+        if not self.wave.finish_once():
+            return
+        best = self.wave.best
+        if best is None:
             self.send(self.parent, WaveEcho(local=None, remote=None, deg=None))
         else:
-            deg, local, remote = self.best
+            deg, local, remote = best
             self.send(self.parent, WaveEcho(local=local, remote=remote, deg=deg))
 
     def _on_wave_echo(self, sender: int, msg: WaveEcho) -> None:
-        if self.is_cutter and sender in self.cut_pending:
+        if self.is_cutter and sender in self.cutter_wave.expected_echo:
             # a cut child reporting its fragment's candidate
-            self.cut_pending.discard(sender)
+            self.cutter_wave.echo_from(sender)
             if msg.local is not None:
                 assert msg.remote is not None and msg.deg is not None
-                self.cut_candidates.append((msg.deg, msg.local, msg.remote, sender))
+                self.cutter_wave.consider(
+                    (msg.deg, msg.local, msg.remote), via=sender
+                )
             self._maybe_cutter_choose()
             return
-        if sender not in self.expected_echo:
+        if sender not in self.wave.expected_echo:
             raise ProtocolError(f"{self.node_id}: unexpected WaveEcho from {sender}")
-        self.expected_echo.discard(sender)
+        self.wave.echo_from(sender)
         if msg.local is not None:
             assert msg.remote is not None and msg.deg is not None
-            self._consider((msg.deg, msg.local, msg.remote), via=sender)
+            self.wave.consider((msg.deg, msg.local, msg.remote), via=sender)
         self._maybe_echo()
 
     # ------------------------------------------------------------------
@@ -518,20 +534,22 @@ class MDSTProcess(Process):
         own cross replies. A cutter that chose while its own CousinReply
         was still in flight would let the round advance under the reply,
         which then hits the next round's fresh state as "unexpected"."""
-        if (
-            self.is_cutter
-            and not self.cut_chosen
-            and not self.cut_pending
-            and not self.expected_cross
-        ):
-            self.cut_chosen = True
-            self._cutter_choose()
+        if not self.is_cutter:
+            return
+        cw = self.cutter_wave
+        if cw.echoed or cw.expected_echo or self.wave.expected_cross:
+            return
+        cw.echoed = True
+        self._cutter_choose()
 
     def _cutter_choose(self) -> None:
-        if not self.cut_candidates:
+        best = self.cutter_wave.best
+        if best is None:
             self._cutter_finish(improved=False)
             return
-        deg, local, remote, child = min(self.cut_candidates)
+        deg, local, remote = best
+        child = self.cutter_wave.via_best
+        assert child is not None
         if deg > self.cutter_k - 2:
             raise ProtocolError(
                 f"cutter {self.node_id}: candidate degree {deg} > k-2"
@@ -539,74 +557,10 @@ class MDSTProcess(Process):
         self.awaiting_exchange = True
         self.send(child, Update(local=local, remote=remote))
 
-    def _on_update(self, sender: int, msg: Update) -> None:
-        if sender != self.parent:
-            raise ProtocolError(f"{self.node_id}: Update from non-parent {sender}")
-        if self.node_id == msg.local:
-            self._attach(msg.remote)
-        else:
-            if self.via_best is None:
-                raise ProtocolError(
-                    f"{self.node_id}: Update for {msg.local} but no via pointer"
-                )
-            self.send(self.via_best, Update(local=msg.local, remote=msg.remote))
+    # Update routing, attach/flip handshake and ExchangeDone handling come
+    # from ExchangeMixin (repro.protocol.exchange) — shared with fr_local.
 
-    def _attach(self, remote: int) -> None:
-        """This node is the local endpoint: ask the remote endpoint to
-        adopt us; the flip proceeds once the adoption is acknowledged."""
-        if remote not in self.neighbors:
-            raise ProtocolError(
-                f"{self.node_id}: chosen edge to non-neighbor {remote}"
-            )
-        self.pending_attach = remote
-        self.send(remote, ChildMsg())
-
-    def _on_child_ack(self, sender: int) -> None:
-        """Adoption confirmed: commit the re-rooting (repair: without the
-        ack, ExchangeDone can outrun ChildMsg and the next round's Search
-        would miss the fresh child)."""
-        if self.pending_attach != sender:
-            raise ProtocolError(f"{self.node_id}: stray ChildAck from {sender}")
-        self.pending_attach = None
-        old_parent = self.parent
-        assert old_parent is not None
-        self.parent = sender
-        if self.got_cut:
-            # single-hop fragment: the old parent is the cutter itself
-            self.send(old_parent, ExchangeDone())
-        else:
-            self.children.add(old_parent)
-            self.send(old_parent, FlipBack())
-
-    def _on_child(self, sender: int) -> None:
-        self.children.add(sender)
-        self.send(sender, ChildAck())
-        if self.round_k and self.degree() >= self.round_k:
-            raise ProtocolError(
-                f"{self.node_id}: attach raised degree to {self.degree()}"
-                f" >= k={self.round_k}"
-            )
-
-    def _on_flip_back(self, sender: int) -> None:
-        """One reversal hop: my via-side child becomes my parent."""
-        if sender not in self.children:
-            raise ProtocolError(f"{self.node_id}: FlipBack from non-child {sender}")
-        old_parent = self.parent
-        assert old_parent is not None
-        self.children.discard(sender)
-        self.parent = sender
-        if self.got_cut:
-            # I was the fragment root: the old parent is the cutter
-            self.send(old_parent, ExchangeDone())
-        else:
-            self.children.add(old_parent)
-            self.send(old_parent, FlipBack())
-
-    def _on_exchange_done(self, sender: int) -> None:
-        if not (self.is_cutter and self.awaiting_exchange):
-            raise ProtocolError(f"{self.node_id}: unexpected ExchangeDone")
-        self.children.discard(sender)
-        self.awaiting_exchange = False
+    def _exchange_finished(self) -> None:
         self._cutter_finish(improved=True)
 
     def _cutter_finish(self, improved: bool) -> None:
@@ -633,9 +587,11 @@ class MDSTProcess(Process):
     def _collect(self, improved: bool) -> None:
         self.improved_any |= improved
         self.improved_count += int(improved)
-        self.barrier_pending -= 1
-        if self.barrier_pending > 0:
-            return
+        if self.barrier is None:
+            raise ProtocolError(f"{self.node_id}: round report with no barrier")
+        self.barrier.arrive()
+
+    def _round_done(self) -> None:
         self.ctx.mark(
             "round_end",
             {"index": self.round_index, "improved": self.improved_count},

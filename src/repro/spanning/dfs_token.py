@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..protocol import TokenWalk
 from ..sim.messages import Message
 from ..sim.node import NodeContext, Process
 
@@ -51,16 +52,13 @@ class DfsTreeProcess(Process):
         self.parent: int | None = None
         self.children: set[int] = set()
         self.visited = False
-        self.used: set[int] = set()
+        #: token-walk bookkeeping: each incident edge carries the token once
+        self.walk = TokenWalk()
 
     def _forward(self) -> None:
         """Send the token onward, or close out this subtree."""
-        candidates = [
-            v for v in self.neighbors if v not in self.used and v != self.parent
-        ]
-        if candidates:
-            nxt = min(candidates)
-            self.used.add(nxt)
+        nxt = self.walk.next_hop(self.neighbors, self.parent)
+        if nxt is not None:
             self.send(nxt, Token())
         elif self.parent is not None:
             self.send(self.parent, Back(accept=True))

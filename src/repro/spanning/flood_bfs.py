@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..protocol import DrainSet
 from ..sim.messages import Message
 from ..sim.node import NodeContext, Process
 
@@ -54,7 +55,8 @@ class EchoTreeProcess(Process):
         self.parent: int | None = None
         self.children: set[int] = set()
         self.joined = False
-        self.pending = 0  # responses still expected
+        #: neighbors still owing a response (wave-with-feedback drain)
+        self.pending = DrainSet((), name=f"{ctx.node_id}:echo")
 
     # -- helpers ---------------------------------------------------------
 
@@ -63,10 +65,10 @@ class EchoTreeProcess(Process):
         self.joined = True
         self.parent = parent
         targets = [v for v in self.neighbors if v != parent]
-        self.pending = len(targets)
+        self.pending = DrainSet(targets, name=f"{self.node_id}:echo")
         for v in targets:
             self.send(v, Wave(initiator=self.initiator))
-        if self.pending == 0:
+        if self.pending.drained:
             self._complete()
 
     def _complete(self) -> None:
@@ -93,8 +95,8 @@ class EchoTreeProcess(Process):
         elif isinstance(msg, EchoMsg):
             if msg.accept:
                 self.children.add(sender)
-            self.pending -= 1
-            if self.pending == 0:
+            self.pending.satisfy(sender)
+            if self.pending.drained:
                 self._complete()
         elif isinstance(msg, Done):
             for c in self.children:

@@ -162,3 +162,51 @@ class TestResultCache:
         combined = make_executor(jobs=4, cache=tmp_path)
         assert isinstance(combined, CachingExecutor)
         assert isinstance(combined.inner, ParallelExecutor)
+
+
+class TestCacheSchemaVersioning:
+    """Entries written under a stale CACHE_SCHEMA_VERSION must be ignored
+    (treated as misses), never served into tables (PR 1 follow-up)."""
+
+    def test_stale_schema_entry_is_ignored(self, tmp_path, monkeypatch):
+        from repro.analysis import cache as cache_mod
+
+        spec = RunSpec(family="ring", n=8, seed=0)
+        record = run_single("ring", 8, seed=0)
+
+        store = ResultCache(tmp_path)
+        current = cache_mod.CACHE_SCHEMA_VERSION
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", current - 1)
+        store.put(spec, record)  # written under the previous schema
+        assert store.get(spec) == record  # visible while schema is old
+
+        monkeypatch.setattr(cache_mod, "CACHE_SCHEMA_VERSION", current)
+        assert store.get(spec) is None  # stale entry: a miss, not a hit
+        store.put(spec, record)
+        assert store.get(spec) == record  # re-populated under new schema
+
+    def test_schema_version_changes_cache_key(self, monkeypatch):
+        from repro.analysis import cache as cache_mod
+
+        spec = RunSpec(family="ring", n=8, seed=0)
+        key_now = cache_key(spec)
+        monkeypatch.setattr(
+            cache_mod, "CACHE_SCHEMA_VERSION", cache_mod.CACHE_SCHEMA_VERSION + 1
+        )
+        assert cache_key(spec) != key_now
+
+    def test_schema_version_is_bumped_past_pr1(self):
+        from repro.analysis.cache import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION >= 2
+
+    def test_algorithm_distinguishes_cache_keys(self):
+        a = RunSpec(family="ring", n=8, seed=0, algorithm="blin_butelle")
+        b = RunSpec(family="ring", n=8, seed=0, algorithm="fr_local")
+        assert cache_key(a) != cache_key(b)
+
+    def test_legacy_record_without_algorithm_loads_with_default(self):
+        rec = run_single("gnp_sparse", 10, seed=0)
+        data = rec.to_json_dict()
+        del data["algorithm"]  # record saved before the registry existed
+        assert RunRecord.from_json_dict(data).algorithm == "blin_butelle"
