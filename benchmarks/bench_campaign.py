@@ -1,0 +1,41 @@
+"""Campaign engine end-to-end: the ``paper_baseline`` + fault scenarios
+as one report artifact.
+
+Exercises the whole scenario stack (library -> cells -> executors ->
+aggregation -> markdown) the way CI's campaign smoke does, and persists
+the report under ``benchmarks/out/`` like every other bench table.
+Honors ``--jobs`` / ``--cache`` / ``--scale``.
+"""
+
+from __future__ import annotations
+
+from repro.scenarios import (
+    CampaignSpec,
+    builtin_campaign,
+    render_markdown,
+    run_campaign,
+)
+
+
+def test_campaign_report(emit, sweep_jobs, sweep_cache, scale):
+    campaign = builtin_campaign(["paper_baseline", "lossy_links", "crash_storm"])
+    if scale > 1:
+        campaign = CampaignSpec(
+            name=campaign.name,
+            description=campaign.description,
+            scenarios=tuple(sc.scaled(scale) for sc in campaign.scenarios),
+        )
+    result = run_campaign(campaign, jobs=sweep_jobs, cache=sweep_cache)
+    emit("campaign_report", render_markdown(result).rstrip())
+
+    # the fault-free scenario must complete everywhere; fault scenarios
+    # must stall somewhere (the reliability assumption is load-bearing)
+    by_name = {r.spec.name: r for r in result.results}
+    assert by_name["paper_baseline"].num_stalled == 0
+    assert by_name["lossy_links"].num_stalled > 0
+    assert by_name["crash_storm"].num_stalled > 0
+    # every fault-free cell inside the fault scenarios completed too
+    for r in result.results:
+        for cell, record in zip(r.cells, r.records):
+            if cell.fault == "none":
+                assert record.ok

@@ -15,6 +15,7 @@ subpackages for the full API:
 * :mod:`repro.sequential` — Fürer–Raghavachari / exact baselines
 * :mod:`repro.verify` — spanning-tree & local-optimality certification
 * :mod:`repro.analysis` — experiment harness and table rendering
+* :mod:`repro.scenarios` — declarative scenario & campaign engine
 * :mod:`repro.viz` — ASCII rendering of graphs, trees and traces
 """
 
@@ -37,6 +38,10 @@ _LAZY = {
         "exact_minimum_degree_spanning_tree",
     ),
     "kmz_lower_bound": ("repro.sequential", "kmz_lower_bound"),
+    "ScenarioSpec": ("repro.scenarios", "ScenarioSpec"),
+    "CampaignSpec": ("repro.scenarios", "CampaignSpec"),
+    "scenario_names": ("repro.scenarios", "scenario_names"),
+    "run_campaign": ("repro.scenarios", "run_campaign"),
 }
 
 __all__ = ["__version__", *sorted(_LAZY)]

@@ -75,6 +75,7 @@ from ..protocol import (
     WaveEchoTracker,
 )
 from ..sim.delays import DelayModel
+from ..sim.faults import FaultPlan, wrap_factory
 from ..sim.messages import Message
 from ..sim.metrics import SimulationReport
 from ..sim.monitors import parent_pointers_form_forest
@@ -576,6 +577,7 @@ def run_fr_local(
     trace: TraceRecorder | None = None,
     check_invariants: bool = False,
     max_events: int = 5_000_000,
+    faults: FaultPlan | None = None,
 ) -> MDSTResult:
     """Run the FR-style local-improvement protocol to termination.
 
@@ -622,6 +624,8 @@ def run_fr_local(
     factory = make_fr_factory(
         initial_tree.parent_map(), max_rounds=max_rounds
     )
+    if faults:
+        factory = wrap_factory(factory, faults)
     monitors = [parent_pointers_form_forest()] if check_invariants else []
     net = Network(
         graph,

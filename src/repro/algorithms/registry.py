@@ -11,11 +11,15 @@ Runner contract
 ---------------
 ``run(graph, initial_tree=None, *, initial_method="echo",
 mode="concurrent", max_rounds=None, seed=0, delay=None, trace=None,
-check_invariants=False, max_events=...) -> MDSTResult``
+check_invariants=False, max_events=..., faults=None) -> MDSTResult``
 
 Algorithms are free to ignore knobs that do not apply to them (e.g. the
 FR-style protocol has no concurrent mode), but must accept them so a
-sweep grid can cross algorithms with the other axes.
+sweep grid can cross algorithms with the other axes. ``faults`` is a
+:data:`~repro.sim.faults.FaultPlan` wrapped around the process factory
+(named plans expand via :func:`repro.sim.faults.fault_plan_from_name`);
+a faulty run must either complete certified or raise — never return a
+corrupt tree.
 
 ``degree_bound(opt, n)`` states the certified worst-case final degree on
 a graph with optimum ``opt`` and ``n`` nodes; the property suite checks
@@ -102,6 +106,7 @@ def _register_builtin_blin() -> None:
         trace=None,
         check_invariants: bool = False,
         max_events: int = 5_000_000,
+        faults=None,
     ):
         return run_mdst(
             graph,
@@ -113,6 +118,7 @@ def _register_builtin_blin() -> None:
             trace=trace,
             check_invariants=check_invariants,
             max_events=max_events,
+            faults=faults,
         )
 
     register_algorithm(

@@ -31,7 +31,11 @@ __all__ = ["ResultCache", "CACHE_SCHEMA_VERSION", "cache_key"]
 #: Bump when RunRecord/RunSpec semantics change: old entries become misses.
 #: v2: records/specs gained the ``algorithm`` axis (registry PR); also
 #: retires any v1 entries predating the PR 1 cutter cross-reply race fix.
-CACHE_SCHEMA_VERSION = 2
+#: v3: records/specs gained the ``fault`` axis (named fault plans) and
+#: records the ``outcome`` field (scenario/campaign PR) — v2 entries
+#: would deserialize fine but carry different run semantics, so they
+#: must invalidate rather than alias the fault-free cell.
+CACHE_SCHEMA_VERSION = 3
 
 
 def cache_key(spec: "RunSpec") -> str:

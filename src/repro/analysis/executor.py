@@ -57,6 +57,8 @@ class RunSpec:
     delay: str = "unit"
     max_rounds: int | None = None
     algorithm: str = DEFAULT_ALGORITHM
+    #: named fault plan (see :func:`repro.sim.faults.fault_plan_from_name`)
+    fault: str = "none"
 
     def to_json_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -79,6 +81,7 @@ def execute_cell(spec: RunSpec) -> RunRecord:
         delay=spec.delay,
         max_rounds=spec.max_rounds,
         algorithm=spec.algorithm,
+        fault=spec.fault,
     )
 
 

@@ -16,10 +16,11 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from ..algorithms import DEFAULT_ALGORITHM, algorithm_names, get_algorithm
-from ..errors import AnalysisError
+from ..errors import AnalysisError, ProtocolError, TerminationError
 from ..graphs.generators import FAMILIES, make_family
 from ..mdst.config import MODES
 from ..sim.delays import DELAY_NAMES, delay_model_from_name
+from ..sim.faults import NO_FAULT, fault_names, fault_plan_from_name
 from ..spanning.provider import (
     CENTRALIZED_METHODS,
     DISTRIBUTED_METHODS,
@@ -63,6 +64,7 @@ class SweepSpec:
     modes: tuple[str, ...] = ("concurrent",)
     delays: tuple[str, ...] = ("unit",)
     algorithms: tuple[str, ...] = (DEFAULT_ALGORITHM,)
+    faults: tuple[str, ...] = (NO_FAULT,)
     max_rounds: int | None = None
 
     def __post_init__(self) -> None:
@@ -74,6 +76,7 @@ class SweepSpec:
             and self.modes
             and self.delays
             and self.algorithms
+            and self.faults
         ):
             raise AnalysisError("sweep axes must be non-empty")
         _check_axis(self.families, tuple(FAMILIES), "family")
@@ -81,6 +84,7 @@ class SweepSpec:
         _check_axis(self.modes, MODES, "mode")
         _check_axis(self.delays, DELAY_NAMES, "delay model")
         _check_axis(self.algorithms, algorithm_names(), "algorithm")
+        _check_axis(self.faults, fault_names(), "fault plan")
         bad_sizes = [n for n in self.sizes if n < 1]
         if bad_sizes:
             raise AnalysisError(f"sizes must be >= 1, got {bad_sizes!r}")
@@ -97,6 +101,7 @@ class SweepSpec:
                 delay=delay,
                 max_rounds=self.max_rounds,
                 algorithm=algorithm,
+                fault=fault,
             )
             for family in self.families
             for n in self.sizes
@@ -104,6 +109,7 @@ class SweepSpec:
             for mode in self.modes
             for delay in self.delays
             for algorithm in self.algorithms
+            for fault in self.faults
             for seed in self.seeds
         )
 
@@ -118,18 +124,57 @@ def run_single(
     delay: str = "unit",
     max_rounds: int | None = None,
     algorithm: str = DEFAULT_ALGORITHM,
+    fault: str = NO_FAULT,
 ) -> RunRecord:
-    """Run one configuration and flatten it into a record."""
+    """Run one configuration and flatten it into a record.
+
+    With a named *fault* plan injected, a run that stalls loudly (the
+    certified outcome under the paper's reliability assumption — see
+    :mod:`repro.sim.faults`) is flattened into an ``outcome="stalled"``
+    record with zeroed metrics instead of raising, so fault scenarios
+    can tabulate stall rates next to completed runs. Without a fault the
+    exception propagates: stalling under the reliable model is a bug.
+    """
     graph = make_family(family, n, seed=seed)
     startup = build_spanning_tree(graph, method=initial_method, seed=seed)
-    result = get_algorithm(algorithm).run(
-        graph,
-        startup.tree,
-        mode=mode,
-        max_rounds=max_rounds,
-        seed=seed,
-        delay=delay_model_from_name(delay),
+    startup_messages = (
+        startup.report.total_messages if startup.report is not None else 0
     )
+    plan = fault_plan_from_name(fault, graph.n, seed)
+    try:
+        result = get_algorithm(algorithm).run(
+            graph,
+            startup.tree,
+            mode=mode,
+            max_rounds=max_rounds,
+            seed=seed,
+            delay=delay_model_from_name(delay),
+            faults=plan or None,
+        )
+    except (TerminationError, ProtocolError):
+        if fault == NO_FAULT:
+            raise
+        return RunRecord(
+            family=family,
+            n=graph.n,
+            m=graph.m,
+            seed=seed,
+            initial_method=initial_method,
+            mode=mode,
+            delay=delay,
+            algorithm=algorithm,
+            k_initial=startup.tree.max_degree(),
+            k_final=startup.tree.max_degree(),
+            rounds=0,
+            messages=0,
+            causal_time=0,
+            bits=0,
+            max_msg_fields=0,
+            startup_messages=startup_messages,
+            max_rounds=max_rounds,
+            fault=fault,
+            outcome="stalled",
+        )
     return RunRecord(
         family=family,
         n=graph.n,
@@ -146,10 +191,9 @@ def run_single(
         causal_time=result.causal_time,
         bits=result.report.total_bits,
         max_msg_fields=result.report.max_id_fields,
-        startup_messages=(
-            startup.report.total_messages if startup.report is not None else 0
-        ),
+        startup_messages=startup_messages,
         max_rounds=max_rounds,
+        fault=fault,
     )
 
 

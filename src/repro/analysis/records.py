@@ -40,7 +40,18 @@ class RunRecord:
     #: which registered algorithm produced the run (records saved before
     #: the registry existed load as the Blin–Butelle default)
     algorithm: str = DEFAULT_ALGORITHM
+    #: named fault plan injected into the run ("none" = the paper's
+    #: reliable model; see :func:`repro.sim.faults.fault_plan_from_name`)
+    fault: str = "none"
+    #: "ok" for a certified run; "stalled" when an injected fault made
+    #: the protocol stall loudly (metrics fields are then zeroed and
+    #: ``k_final`` repeats ``k_initial`` — no improvement was certified)
+    outcome: str = "ok"
     extra: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome == "ok"
 
     @property
     def degree_drop(self) -> int:

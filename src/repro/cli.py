@@ -5,8 +5,9 @@ Subcommands
 ``run``       one protocol run with a summary and optional tree rendering
 ``sweep``     a small sweep printed as a paper-style table
 ``compare``   head-to-head of registered algorithms on one instance
+``campaign``  run a named / file-based scenario campaign into a report
 ``exact``     ground-truth Δ* for a small instance
-``families``  list available workload families
+``families``  list workload families, delays, algorithms, faults, scenarios
 ``certify``   run + certification against the paper's claims
 """
 
@@ -19,10 +20,12 @@ from .algorithms import DEFAULT_ALGORITHM, algorithm_names, get_algorithm
 from .analysis.cache import ResultCache
 from .analysis.harness import SweepSpec, run_single, run_sweep
 from .analysis.tables import Table
+from .errors import AnalysisError, ProtocolError, TerminationError
 from .graphs.generators import FAMILIES, make_family
 from .mdst.config import MODES
 from .sequential.exact import optimal_degree
 from .sim.delays import DELAY_NAMES, delay_model_from_name
+from .sim.faults import NO_FAULT, fault_names, fault_plan_from_name
 from .spanning.provider import (
     CENTRALIZED_METHODS,
     DISTRIBUTED_METHODS,
@@ -32,6 +35,10 @@ from .verify.certification import certify_run
 from .viz.ascii_tree import render_degree_histogram, render_tree
 
 __all__ = ["main", "build_parser"]
+
+#: family names are validated eagerly via argparse choices — a typo
+#: fails at the parser with the valid names, not deep inside make_family
+_FAMILY_CHOICES = tuple(sorted(FAMILIES))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,7 +56,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--show-tree", action="store_true", help="render the final tree")
 
     sweep_p = sub.add_parser("sweep", help="run a sweep and print a table")
-    sweep_p.add_argument("--families", nargs="+", default=["gnp_sparse"])
+    sweep_p.add_argument(
+        "--families",
+        nargs="+",
+        default=["gnp_sparse"],
+        choices=_FAMILY_CHOICES,
+        metavar="FAMILY",
+        help=f"workload families ({', '.join(_FAMILY_CHOICES)})",
+    )
     sweep_p.add_argument("--sizes", nargs="+", type=int, default=[16, 32])
     sweep_p.add_argument("--seeds", nargs="+", type=int, default=[0, 1, 2])
     sweep_p.add_argument("--initial", default="echo")
@@ -78,12 +92,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="result-cache directory; completed cells are not re-run",
     )
+    sweep_p.add_argument(
+        "--fault",
+        nargs="+",
+        default=[NO_FAULT],
+        choices=list(fault_names()),
+        metavar="PLAN",
+        help=f"named fault plan(s) to sweep ({', '.join(fault_names())})",
+    )
 
     compare_p = sub.add_parser(
         "compare",
         help="run registered algorithms head-to-head on one instance",
     )
-    compare_p.add_argument("--family", default="gnp_sparse")
+    compare_p.add_argument(
+        "--family",
+        default="gnp_sparse",
+        choices=_FAMILY_CHOICES,
+        metavar="FAMILY",
+        help=f"workload family ({', '.join(_FAMILY_CHOICES)})",
+    )
     compare_p.add_argument("--n", type=int, default=24)
     compare_p.add_argument("--seed", type=int, default=0)
     compare_p.add_argument(
@@ -92,6 +120,16 @@ def build_parser() -> argparse.ArgumentParser:
         choices=list(DISTRIBUTED_METHODS + CENTRALIZED_METHODS),
     )
     compare_p.add_argument("--delay", default="unit", choices=list(DELAY_NAMES))
+    compare_p.add_argument(
+        "--fault",
+        default=NO_FAULT,
+        choices=list(fault_names()),
+        metavar="PLAN",
+        help=(
+            "named fault plan injected into every algorithm "
+            f"({', '.join(fault_names())}); stalled runs are tabulated"
+        ),
+    )
     compare_p.add_argument(
         "--algorithm",
         nargs="+",
@@ -110,11 +148,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     exact_p = sub.add_parser("exact", help="ground-truth optimal degree (small n)")
-    exact_p.add_argument("--family", default="gnp_sparse")
+    exact_p.add_argument(
+        "--family",
+        default="gnp_sparse",
+        choices=_FAMILY_CHOICES,
+        metavar="FAMILY",
+        help=f"workload family ({', '.join(_FAMILY_CHOICES)})",
+    )
     exact_p.add_argument("--n", type=int, default=10)
     exact_p.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("families", help="list workload families")
+    sub.add_parser(
+        "families",
+        help=(
+            "list workload families, delay models, algorithms, fault "
+            "plans and built-in scenarios"
+        ),
+    )
 
     cert_p = sub.add_parser("certify", help="run + certify against the claims")
     _common_axes(cert_p)
@@ -124,11 +174,60 @@ def build_parser() -> argparse.ArgumentParser:
     )
     exp_p.add_argument("name", help="experiment id, e.g. t1")
     exp_p.add_argument("--scale", type=int, default=1, help="size multiplier")
+
+    camp_p = sub.add_parser(
+        "campaign",
+        help="run a scenario campaign into a markdown + JSON report",
+    )
+    camp_p.add_argument(
+        "scenarios",
+        nargs="*",
+        metavar="SCENARIO",
+        help="built-in scenario name(s); see --list",
+    )
+    camp_p.add_argument(
+        "--list", action="store_true", help="list built-in scenarios and exit"
+    )
+    camp_p.add_argument(
+        "--file",
+        default=None,
+        metavar="PATH",
+        help="run a campaign/scenario document (.toml or .json) instead",
+    )
+    camp_p.add_argument(
+        "--tiny",
+        action="store_true",
+        help="shrink every scenario to a smoke-test footprint (CI mode)",
+    )
+    camp_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (reports are identical for any value)",
+    )
+    camp_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory shared across campaign cells",
+    )
+    camp_p.add_argument(
+        "--out",
+        default=None,
+        metavar="DIR",
+        help="write report.md + report.json under DIR",
+    )
     return parser
 
 
 def _common_axes(p: argparse.ArgumentParser) -> None:
-    p.add_argument("--family", default="gnp_sparse", help="workload family")
+    p.add_argument(
+        "--family",
+        default="gnp_sparse",
+        choices=_FAMILY_CHOICES,
+        metavar="FAMILY",
+        help=f"workload family ({', '.join(_FAMILY_CHOICES)})",
+    )
     p.add_argument("--n", type=int, default=24, help="approximate node count")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
@@ -146,27 +245,57 @@ def _common_axes(p: argparse.ArgumentParser) -> None:
         metavar="NAME",
         help=f"distributed algorithm ({', '.join(algorithm_names())})",
     )
+    p.add_argument(
+        "--fault",
+        default=NO_FAULT,
+        choices=list(fault_names()),
+        metavar="PLAN",
+        help=f"named fault plan to inject ({', '.join(fault_names())})",
+    )
 
 
 def _run_once(args: argparse.Namespace):
     graph = make_family(args.family, args.n, seed=args.seed)
     startup = build_spanning_tree(graph, method=args.initial, seed=args.seed)
+    plan = fault_plan_from_name(args.fault, graph.n, args.seed)
     result = get_algorithm(args.algorithm).run(
         graph,
         startup.tree,
         mode=args.mode,
         seed=args.seed,
         delay=delay_model_from_name(args.delay),
+        faults=plan or None,
     )
     return result
+
+
+def _stall_message(args: argparse.Namespace, exc: Exception) -> str:
+    return (
+        f"run stalled under fault plan {args.fault!r} "
+        f"(the paper assumes reliable channels and non-crashing "
+        f"processors): {exc}"
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "families":
-        for name in sorted(FAMILIES):
-            print(name)
+        from .scenarios.library import SCENARIOS
+
+        sections = [
+            ("graph families", sorted(FAMILIES)),
+            ("delay models", list(DELAY_NAMES)),
+            ("algorithms", list(algorithm_names())),
+            ("fault plans", list(fault_names())),
+            ("scenarios", sorted(SCENARIOS)),
+        ]
+        for i, (title, names) in enumerate(sections):
+            if i:
+                print()
+            print(f"{title}:")
+            for name in names:
+                print(f"  {name}")
         return 0
 
     if args.command == "exact":
@@ -176,7 +305,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "run":
-        result = _run_once(args)
+        try:
+            result = _run_once(args)
+        except (TerminationError, ProtocolError) as exc:
+            if args.fault == NO_FAULT:
+                raise
+            print(_stall_message(args, exc), file=sys.stderr)
+            return 1
         print(result.summary())
         if args.show_tree:
             print()
@@ -186,7 +321,13 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     if args.command == "certify":
-        result = _run_once(args)
+        try:
+            result = _run_once(args)
+        except (TerminationError, ProtocolError) as exc:
+            if args.fault == NO_FAULT:
+                raise
+            print(_stall_message(args, exc), file=sys.stderr)
+            return 1
         print(result.summary())
         print()
         print(certify_run(result).summary())
@@ -210,13 +351,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"m={graph.m} seed={args.seed}"
             ),
         )
+        plan = fault_plan_from_name(args.fault, graph.n, args.seed)
         for name in names:
-            result = get_algorithm(name).run(
-                graph,
-                startup.tree,
-                seed=args.seed,
-                delay=delay_model_from_name(args.delay),
-            )
+            try:
+                result = get_algorithm(name).run(
+                    graph,
+                    startup.tree,
+                    seed=args.seed,
+                    delay=delay_model_from_name(args.delay),
+                    faults=plan or None,
+                )
+            except (TerminationError, ProtocolError):
+                if args.fault == NO_FAULT:
+                    raise
+                k0 = startup.tree.max_degree()
+                table.add(name, k0, "stalled", "—", "—", "—", "—")
+                continue
             table.add(
                 name,
                 result.initial_degree,
@@ -240,20 +390,23 @@ def main(argv: list[str] | None = None) -> int:
             modes=(args.mode,),
             delays=(args.delay,),
             algorithms=tuple(args.algorithm),
+            faults=tuple(args.fault),
         )
         cache = ResultCache(args.cache) if args.cache else None
         records = run_sweep(spec, jobs=args.jobs, cache=cache)
         table = Table(
             [
-                "algorithm", "family", "n", "m", "seed", "k0", "k*",
-                "rounds", "msgs", "time",
+                "algorithm", "family", "n", "m", "seed", "fault", "k0",
+                "k*", "rounds", "msgs", "time",
             ],
             title="MDegST sweep",
         )
         for r in records:
             table.add(
-                r.algorithm, r.family, r.n, r.m, r.seed, r.k_initial,
-                r.k_final, r.rounds, r.messages, r.causal_time,
+                r.algorithm, r.family, r.n, r.m, r.seed, r.fault,
+                r.k_initial,
+                r.k_final if r.ok else "stalled",
+                r.rounds, r.messages, r.causal_time,
             )
         print(table.render())
         if cache is not None:
@@ -264,7 +417,72 @@ def main(argv: list[str] | None = None) -> int:
             )
         return 0
 
+    if args.command == "campaign":
+        return _campaign(args)
+
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _campaign(args: argparse.Namespace) -> int:
+    from .scenarios import (
+        builtin_campaign,
+        load_campaign,
+        render_markdown,
+        run_campaign,
+        scenario_names,
+        write_report,
+    )
+    from .scenarios.library import SCENARIOS
+
+    if args.list:
+        width = max(len(name) for name in scenario_names())
+        print("built-in scenarios:")
+        print()
+        for name in scenario_names():
+            sc = SCENARIOS[name]
+            print(f"  {name.ljust(width)}  {sc.num_cells:>3} cells  {sc.description}")
+        print()
+        print(
+            "run with: python -m repro campaign <name> [--jobs N] "
+            "[--cache DIR] [--out DIR]"
+        )
+        return 0
+
+    if bool(args.scenarios) == bool(args.file):
+        print(
+            "campaign: give built-in scenario name(s) or --file PATH "
+            "(one of the two); --list shows the library",
+            file=sys.stderr,
+        )
+        return 2
+
+    try:
+        campaign = (
+            load_campaign(args.file)
+            if args.file
+            else builtin_campaign(args.scenarios)
+        )
+    except AnalysisError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
+    if args.tiny:
+        campaign = campaign.tiny()
+    cache = ResultCache(args.cache) if args.cache else None
+    result = run_campaign(campaign, jobs=args.jobs, cache=cache)
+    if args.out:
+        # one aggregation/render pass: stdout shows exactly the artifact
+        md_path, json_path = write_report(result, args.out)
+        print(md_path.read_text(encoding="utf-8"), end="")
+        print(f"report: {md_path} + {json_path}", file=sys.stderr)
+    else:
+        print(render_markdown(result), end="")
+    if cache is not None:
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"[{args.cache}]",
+            file=sys.stderr,
+        )
+    return 0
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -8,6 +8,7 @@ from ..graphs.graph import Graph
 from ..graphs.traversal import is_connected
 from ..graphs.trees import RootedTree
 from ..sim.delays import DelayModel
+from ..sim.faults import FaultPlan, wrap_factory
 from ..sim.metrics import SimulationReport
 from ..sim.monitors import parent_pointers_form_forest
 from ..sim.network import Network
@@ -31,6 +32,7 @@ def run_mdst(
     trace: TraceRecorder | None = None,
     check_invariants: bool = False,
     max_events: int = 5_000_000,
+    faults: FaultPlan | None = None,
 ) -> MDSTResult:
     """Run the distributed MDegST algorithm of Blin & Butelle on *graph*.
 
@@ -50,6 +52,13 @@ def run_mdst(
     check_invariants:
         Attach the parent-forest monitor (every instant of the run must
         exhibit acyclic parent pointers). Slows big runs; used by tests.
+    faults:
+        Optional :data:`~repro.sim.faults.FaultPlan` wrapped around the
+        process factory. The paper assumes reliable channels and
+        non-crashing processors, so a fault never yields a silently
+        corrupt result: the run either completes certified or raises
+        :class:`~repro.errors.ProtocolError` /
+        :class:`~repro.errors.TerminationError`.
 
     Returns
     -------
@@ -92,6 +101,8 @@ def run_mdst(
         )
 
     factory = make_mdst_factory(initial_tree.parent_map(), cfg)
+    if faults:
+        factory = wrap_factory(factory, faults)
     monitors = [parent_pointers_form_forest()] if check_invariants else []
     net = Network(
         graph,

@@ -1,0 +1,154 @@
+"""Built-in scenario library.
+
+The named regimes the MDST literature evaluates against, as versioned
+spec objects instead of one-off scripts: each entry is a
+:class:`~repro.scenarios.spec.ScenarioSpec` addressable from the CLI
+(``python -m repro campaign <name>``), from campaign files (by copying
+its axes) and from tests (every entry has an end-to-end smoke test).
+
+* ``paper_baseline`` — the paper's own sweep regime (sparse G(n,p) and
+  geometric graphs, unit delays);
+* ``wireless_geometric`` — radio-network deployments: geometric graphs
+  under randomized delays (the broadcast motivation of the paper);
+* ``scale_free`` — hub-heavy preferential-attachment topologies, where
+  minimum-degree trees matter most;
+* ``dense_clique`` — dense regimes (complete graphs and dense G(n,p)),
+  the Korach–Moran–Zaks lower-bound setting;
+* ``lossy_links`` — message-drop fault plans next to the fault-free
+  baseline: the reliability assumption made measurable (stall rates);
+* ``crash_storm`` — crash-stop fault plans, same dichotomy;
+* ``adversarial_delay`` — per-link skew and exponential reordering
+  pressure vs. the unit-delay analysis assumption;
+* ``head_to_head`` — every registered algorithm on identical instances.
+"""
+
+from __future__ import annotations
+
+from ..algorithms import algorithm_names
+from ..errors import AnalysisError
+from .spec import CampaignSpec, ScenarioSpec
+
+__all__ = [
+    "SCENARIOS",
+    "scenario_names",
+    "get_scenario",
+    "builtin_campaign",
+]
+
+
+def _build() -> dict[str, ScenarioSpec]:
+    entries = (
+        ScenarioSpec(
+            name="paper_baseline",
+            description=(
+                "the paper's regime: sparse G(n,p) + geometric graphs, "
+                "unit delays"
+            ),
+            families=("gnp_sparse", "geometric"),
+            sizes=(16, 24, 32),
+            seeds=(0, 1, 2),
+        ),
+        ScenarioSpec(
+            name="wireless_geometric",
+            description=(
+                "radio networks: geometric graphs under uniform random "
+                "delays"
+            ),
+            families=("geometric",),
+            sizes=(16, 24, 32),
+            seeds=(0, 1, 2),
+            delays=("uniform",),
+        ),
+        ScenarioSpec(
+            name="scale_free",
+            description="hub-heavy preferential-attachment topologies",
+            families=("pref_attach",),
+            sizes=(16, 24, 32),
+            seeds=(0, 1, 2),
+        ),
+        ScenarioSpec(
+            name="dense_clique",
+            description=(
+                "dense regime: complete + dense G(n,p) (KMZ lower-bound "
+                "setting)"
+            ),
+            families=("complete", "gnp_dense"),
+            sizes=(12, 16, 20),
+            seeds=(0, 1),
+        ),
+        ScenarioSpec(
+            name="lossy_links",
+            description=(
+                "message-drop fault plans (5% / 25%) vs. the fault-free "
+                "baseline"
+            ),
+            families=("gnp_sparse",),
+            sizes=(16,),
+            seeds=(0, 1, 2),
+            faults=("none", "lossy_light", "lossy_heavy"),
+        ),
+        ScenarioSpec(
+            name="crash_storm",
+            description=(
+                "crash-stop fault plans vs. the fault-free baseline"
+            ),
+            families=("gnp_sparse", "ring"),
+            sizes=(16,),
+            seeds=(0, 1, 2),
+            faults=("none", "crash_one", "crash_storm"),
+        ),
+        ScenarioSpec(
+            name="adversarial_delay",
+            description=(
+                "per-link skew and exponential delays vs. the unit-delay "
+                "model"
+            ),
+            families=("gnp_sparse", "circulant"),
+            sizes=(16,),
+            seeds=(0, 1, 2),
+            delays=("unit", "perlink", "exponential"),
+        ),
+        ScenarioSpec(
+            name="head_to_head",
+            description=(
+                "every registered algorithm head-to-head on identical "
+                "instances"
+            ),
+            families=("gnp_sparse", "geometric", "complete"),
+            sizes=(16, 24),
+            seeds=(0, 1),
+            algorithms=algorithm_names(),
+        ),
+    )
+    return {sc.name: sc for sc in entries}
+
+
+#: name -> built-in scenario (import-time validated).
+SCENARIOS: dict[str, ScenarioSpec] = _build()
+
+
+def scenario_names() -> tuple[str, ...]:
+    """Sorted names of the built-in scenarios."""
+    return tuple(sorted(SCENARIOS))
+
+
+def get_scenario(name: str) -> ScenarioSpec:
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise AnalysisError(
+            f"unknown scenario {name!r}; built-in scenarios: "
+            f"{', '.join(scenario_names())}"
+        ) from None
+
+
+def builtin_campaign(names: tuple[str, ...] | list[str]) -> CampaignSpec:
+    """Bundle built-in scenarios (by name, order preserved) into a
+    campaign named after them."""
+    if not names:
+        raise AnalysisError(
+            f"no scenarios given; built-in scenarios: {', '.join(scenario_names())}"
+        )
+    scenarios = tuple(get_scenario(name) for name in names)
+    name = scenarios[0].name if len(scenarios) == 1 else "campaign"
+    return CampaignSpec(name=name, scenarios=scenarios)

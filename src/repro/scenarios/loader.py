@@ -1,0 +1,183 @@
+"""Scenario & campaign documents: load/dump as TOML or JSON.
+
+Scenarios are meant to be *shareable documents* — checked into a repo,
+mailed around, diffed in review — so both a human-friendly format
+(TOML, parsed with the stdlib ``tomllib``) and a machine-friendly one
+(JSON) are supported, chosen by file suffix.
+
+Document shapes
+---------------
+A **campaign** file has top-level ``name`` / ``description`` and a list
+of ``[[scenarios]]`` tables (TOML) or a ``"scenarios"`` array (JSON)::
+
+    name = "latency_study"
+    description = "delay sensitivity on sparse graphs"
+
+    [[scenarios]]
+    name = "baseline"
+    families = ["gnp_sparse"]
+    sizes = [16, 24]
+    seeds = [0, 1, 2]
+
+    [[scenarios]]
+    name = "slow_links"
+    families = ["gnp_sparse"]
+    sizes = [16, 24]
+    delays = ["perlink"]
+
+A **scenario** file is just the inner table; :func:`load_campaign`
+accepts either and wraps a bare scenario into a one-scenario campaign.
+
+``tomllib`` only parses, so :func:`dump_campaign` carries a minimal
+TOML emitter covering exactly the value types a spec can hold (strings,
+ints, lists, tables) — round-tripping is pinned by tests.
+"""
+
+from __future__ import annotations
+
+import json
+import tomllib
+from pathlib import Path
+from typing import Any
+
+from ..errors import AnalysisError
+from .spec import CampaignSpec, ScenarioSpec
+
+__all__ = [
+    "load_campaign",
+    "load_scenario",
+    "dump_campaign",
+    "dump_scenario",
+    "campaign_from_dict",
+]
+
+
+def _parse(path: Path) -> dict[str, Any]:
+    if path.suffix == ".toml":
+        try:
+            with open(path, "rb") as fh:
+                return tomllib.load(fh)
+        except tomllib.TOMLDecodeError as exc:
+            raise AnalysisError(f"invalid TOML in {path}: {exc}") from None
+    if path.suffix == ".json":
+        try:
+            return json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise AnalysisError(f"invalid JSON in {path}: {exc}") from None
+    raise AnalysisError(
+        f"unsupported scenario-file suffix {path.suffix!r} ({path}); "
+        "use .toml or .json"
+    )
+
+
+def campaign_from_dict(data: dict[str, Any]) -> CampaignSpec:
+    """Build a campaign from a parsed document (campaign- or
+    scenario-shaped; a bare scenario becomes a one-scenario campaign)."""
+    if "scenarios" in data:
+        return CampaignSpec.from_json_dict(data)
+    scenario = ScenarioSpec.from_json_dict(data)
+    return CampaignSpec(name=scenario.name, scenarios=(scenario,))
+
+
+def load_campaign(path: str | Path) -> CampaignSpec:
+    """Load a campaign (or bare scenario) document by suffix."""
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"no such scenario file: {path}")
+    return campaign_from_dict(_parse(path))
+
+
+def load_scenario(path: str | Path) -> ScenarioSpec:
+    """Load a single-scenario document (errors on campaign files)."""
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"no such scenario file: {path}")
+    data = _parse(path)
+    if "scenarios" in data:
+        raise AnalysisError(
+            f"{path} is a campaign document; use load_campaign()"
+        )
+    return ScenarioSpec.from_json_dict(data)
+
+
+# -- dumping ------------------------------------------------------------------
+
+
+#: TOML basic-string short escapes; other control chars go through \uXXXX
+_TOML_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+    "\b": "\\b",
+    "\f": "\\f",
+}
+
+
+def _toml_scalar(value: Any) -> str:
+    if isinstance(value, bool):  # before int: bool is an int subclass
+        return "true" if value else "false"
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        escaped = "".join(
+            _TOML_ESCAPES.get(ch)
+            or (f"\\u{ord(ch):04X}" if ord(ch) < 0x20 or ch == "\x7f" else ch)
+            for ch in value
+        )
+        return f'"{escaped}"'
+    raise AnalysisError(f"cannot emit TOML for value {value!r}")
+
+
+def _toml_value(value: Any) -> str:
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_toml_scalar(v) for v in value) + "]"
+    return _toml_scalar(value)
+
+
+def _toml_table(data: dict[str, Any]) -> list[str]:
+    return [f"{key} = {_toml_value(value)}" for key, value in data.items()]
+
+
+def _campaign_toml(campaign: CampaignSpec) -> str:
+    doc = campaign.to_json_dict()
+    lines = _toml_table({k: v for k, v in doc.items() if k != "scenarios"})
+    for scenario in doc["scenarios"]:
+        lines += ["", "[[scenarios]]", *_toml_table(scenario)]
+    return "\n".join(lines) + "\n"
+
+
+def dump_campaign(campaign: CampaignSpec, path: str | Path) -> Path:
+    """Write a campaign document (format by suffix); returns the path."""
+    path = Path(path)
+    if path.suffix == ".toml":
+        text = _campaign_toml(campaign)
+    elif path.suffix == ".json":
+        text = json.dumps(campaign.to_json_dict(), indent=2, sort_keys=True) + "\n"
+    else:
+        raise AnalysisError(
+            f"unsupported scenario-file suffix {path.suffix!r} ({path}); "
+            "use .toml or .json"
+        )
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+def dump_scenario(scenario: ScenarioSpec, path: str | Path) -> Path:
+    """Write a single-scenario document (format by suffix)."""
+    path = Path(path)
+    doc = scenario.to_json_dict()
+    if path.suffix == ".toml":
+        text = "\n".join(_toml_table(doc)) + "\n"
+    elif path.suffix == ".json":
+        text = json.dumps(doc, indent=2, sort_keys=True) + "\n"
+    else:
+        raise AnalysisError(
+            f"unsupported scenario-file suffix {path.suffix!r} ({path}); "
+            "use .toml or .json"
+        )
+    path.write_text(text, encoding="utf-8")
+    return path

@@ -1,0 +1,95 @@
+"""Campaign execution: expand scenarios into sweep cells and run them
+through the existing executor stack.
+
+A campaign is flattened into one batch of
+:class:`~repro.analysis.executor.RunSpec` cells across *all* its
+scenarios before dispatch, so a parallel executor fans out over the
+whole campaign (not scenario-by-scenario). The batch is deduplicated
+first (``RunSpec`` is hashable): a cell shared by several scenarios
+runs exactly once — even without a cache — and its record is fanned
+back out to every position that references it. Records split back per
+scenario positionally, which keeps campaign results bit-identical
+across Serial/Parallel/Caching executors exactly like sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from ..analysis.cache import ResultCache
+from ..analysis.executor import Executor, RunSpec, make_executor
+from ..analysis.records import RunRecord
+from .spec import CampaignSpec, ScenarioSpec
+
+__all__ = ["ScenarioResult", "CampaignResult", "run_campaign"]
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One scenario's records, in cell order (cells[i] -> records[i])."""
+
+    spec: ScenarioSpec
+    cells: tuple[RunSpec, ...]
+    records: tuple[RunRecord, ...]
+
+    @property
+    def num_ok(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def num_stalled(self) -> int:
+        return sum(1 for r in self.records if not r.ok)
+
+
+@dataclass(frozen=True)
+class CampaignResult:
+    """All scenario results of one campaign run, in campaign order."""
+
+    spec: CampaignSpec
+    results: tuple[ScenarioResult, ...]
+
+    @property
+    def num_cells(self) -> int:
+        return sum(len(r.records) for r in self.results)
+
+    @property
+    def num_ok(self) -> int:
+        return sum(r.num_ok for r in self.results)
+
+    @property
+    def num_stalled(self) -> int:
+        return sum(r.num_stalled for r in self.results)
+
+
+def run_campaign(
+    campaign: CampaignSpec,
+    *,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+) -> CampaignResult:
+    """Run every scenario of *campaign* (deterministic given the spec).
+
+    Parameters mirror :func:`~repro.analysis.harness.run_sweep`:
+    *executor* overrides the *jobs* / *cache* knobs; any combination
+    produces identical records in identical order.
+    """
+    if executor is None:
+        executor = make_executor(jobs=jobs, cache=cache)
+    per_scenario = [(sc, sc.cells()) for sc in campaign.scenarios]
+    batch = [cell for _, cells in per_scenario for cell in cells]
+    # dedupe cells shared across scenarios (first-seen order — still
+    # deterministic), then fan each unique record back to its positions
+    index: dict[RunSpec, int] = {}
+    for cell in batch:
+        index.setdefault(cell, len(index))
+    unique_records = executor.run(list(index))
+    records = [unique_records[index[cell]] for cell in batch]
+    results = []
+    offset = 0
+    for sc, cells in per_scenario:
+        chunk = tuple(records[offset : offset + len(cells)])
+        offset += len(cells)
+        results.append(ScenarioResult(spec=sc, cells=cells, records=chunk))
+    return CampaignResult(spec=campaign, results=tuple(results))

@@ -1,6 +1,7 @@
 """Sequential baselines and reference bounds."""
 
 from .bounds import (
+    degree_lower_bound,
     fr_quality_guarantee,
     kmz_lower_bound,
     paper_round_count,
@@ -27,6 +28,7 @@ __all__ = [
     "optimal_degree",
     "kmz_lower_bound",
     "fr_quality_guarantee",
+    "degree_lower_bound",
     "paper_round_count",
     "paper_round_message_budget",
     "paper_total_message_budget",

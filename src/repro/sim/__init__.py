@@ -9,7 +9,16 @@ from .delays import (
     delay_model_from_name,
 )
 from .events import Event, EventKind, EventQueue
-from .faults import FaultPlan, crash_after, drop_messages, wrap_factory
+from .faults import (
+    NO_FAULT,
+    FaultPlan,
+    crash_after,
+    drop_messages,
+    fault_names,
+    fault_plan_from_name,
+    register_fault_plan,
+    wrap_factory,
+)
 from .messages import Message, message_bits
 from .metrics import MessageStats, SimulationReport
 from .monitors import (
@@ -48,4 +57,8 @@ __all__ = [
     "wrap_factory",
     "crash_after",
     "drop_messages",
+    "NO_FAULT",
+    "fault_names",
+    "fault_plan_from_name",
+    "register_fault_plan",
 ]

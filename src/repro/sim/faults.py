@@ -14,6 +14,14 @@ wrapped without modification.
   *outgoing* sends are dropped (lossy link);
 * :func:`FaultPlan` — per-node mapping of wrappers applied by
   :func:`wrap_factory`.
+
+Named fault plans
+-----------------
+Mirroring :func:`repro.sim.delays.delay_model_from_name`, the registry
+below makes whole fault plans spec-addressable: a name plus ``(n, seed)``
+deterministically expands to a :data:`FaultPlan`, so sweeps, scenario
+files and cache keys can carry "which faults" as a plain string axis
+(``RunSpec.fault``). Every plan is deterministic in ``(name, n, seed)``.
 """
 
 from __future__ import annotations
@@ -24,7 +32,16 @@ from ..rng import substream
 from .messages import Message
 from .node import NodeContext, Process
 
-__all__ = ["FaultPlan", "wrap_factory", "crash_after", "drop_messages"]
+__all__ = [
+    "FaultPlan",
+    "wrap_factory",
+    "crash_after",
+    "drop_messages",
+    "NO_FAULT",
+    "fault_names",
+    "fault_plan_from_name",
+    "register_fault_plan",
+]
 
 #: A fault is a wrapper applied to a freshly built process.
 Fault = Callable[[Process], Process]
@@ -88,3 +105,86 @@ def drop_messages(probability: float, seed: int = 0) -> Fault:
         return proc
 
     return fault
+
+
+# -- named fault-plan registry -------------------------------------------------
+
+#: A named plan expands to a concrete FaultPlan given the network size
+#: and the run seed (node identities are assumed to be 0..n-1, which
+#: every generator in :mod:`repro.graphs.generators` guarantees).
+FaultPlanFactory = Callable[[int, int], FaultPlan]
+
+#: The distinguished no-op plan name (the default everywhere).
+NO_FAULT = "none"
+
+
+def _plan_none(n: int, seed: int) -> FaultPlan:
+    return {}
+
+
+def _plan_crash_one(n: int, seed: int) -> FaultPlan:
+    """One mid-network node crash-stops after a few handled events."""
+    if n < 2:
+        return {}
+    victim = n // 2
+    return {victim: crash_after(3)}
+
+
+def _plan_crash_storm(n: int, seed: int) -> FaultPlan:
+    """A quarter of the nodes (at least two) crash-stop early, each after
+    a seed-dependent number of handled events in [1, 5]."""
+    if n < 3:
+        return {}
+    rng = substream(seed, f"fault:crash_storm:{n}")
+    count = max(2, n // 4)
+    victims = sorted(int(v) for v in rng.choice(n, size=count, replace=False))
+    return {v: crash_after(1 + int(rng.integers(5))) for v in victims}
+
+
+def _plan_lossy_light(n: int, seed: int) -> FaultPlan:
+    """Every node independently drops 5% of its outgoing messages — small
+    enough that some runs squeak through, demonstrating the certify-or-
+    stall dichotomy."""
+    return {u: drop_messages(0.05, seed=seed) for u in range(n)}
+
+
+def _plan_lossy_heavy(n: int, seed: int) -> FaultPlan:
+    """Every node drops 25% of its outgoing messages (runs essentially
+    always stall — the reliability assumption is load-bearing)."""
+    return {u: drop_messages(0.25, seed=seed) for u in range(n)}
+
+
+_FAULT_FACTORIES: dict[str, FaultPlanFactory] = {
+    NO_FAULT: _plan_none,
+    "crash_one": _plan_crash_one,
+    "crash_storm": _plan_crash_storm,
+    "lossy_light": _plan_lossy_light,
+    "lossy_heavy": _plan_lossy_heavy,
+}
+
+
+def fault_names() -> tuple[str, ...]:
+    """Sorted names of every registered fault plan (``none`` included)."""
+    return tuple(sorted(_FAULT_FACTORIES))
+
+
+def register_fault_plan(
+    name: str, factory: FaultPlanFactory, *, replace: bool = False
+) -> None:
+    """Add a named plan to the registry (``replace=True`` to overwrite)."""
+    if not name or not name.replace("_", "").isalnum():
+        raise ValueError(f"bad fault-plan name {name!r}")
+    if name in _FAULT_FACTORIES and not replace:
+        raise ValueError(f"fault plan {name!r} already registered")
+    _FAULT_FACTORIES[name] = factory
+
+
+def fault_plan_from_name(name: str, n: int, seed: int = 0) -> FaultPlan:
+    """Expand a registered plan name for an *n*-node network."""
+    try:
+        factory = _FAULT_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fault plan {name!r}; choose from {sorted(_FAULT_FACTORIES)}"
+        ) from None
+    return factory(n, seed)

@@ -2,10 +2,12 @@
 
 from .ascii_graph import graph_summary, render_adjacency
 from .ascii_tree import render_degree_histogram, render_tree
+from .charts import render_bar_chart
 from .trace_view import phase_timeline, round_narrative
 from .trajectory import render_trajectory
 
 __all__ = [
+    "render_bar_chart",
     "render_tree",
     "render_degree_histogram",
     "graph_summary",

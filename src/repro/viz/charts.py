@@ -1,0 +1,43 @@
+"""Generic ASCII charts for report artifacts.
+
+The campaign reports (:mod:`repro.scenarios.report`) embed these in
+fenced code blocks; they are deliberately free of timestamps or any
+other non-deterministic decoration so that report files are stable
+artifacts (serial, parallel and warm-cache runs must render the same
+bytes).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+__all__ = ["render_bar_chart"]
+
+
+def render_bar_chart(
+    items: Sequence[tuple[str, float]],
+    *,
+    width: int = 40,
+    unit: str = "",
+) -> str:
+    """Horizontal bar chart: one ``label  value  ###`` line per item.
+
+    Bars are scaled to the maximum value; zero/negative values render an
+    empty bar (faults can zero a metric). Labels are left-aligned to the
+    longest label, values right-aligned.
+    """
+    if not items:
+        return "(no data)"
+    label_w = max(len(label) for label, _ in items)
+    peak = max(value for _, value in items)
+    lines = []
+    for label, value in items:
+        if peak > 0 and value > 0:
+            bar = "#" * max(1, round(width * value / peak))
+        else:
+            bar = ""
+        shown = f"{value:.2f}".rstrip("0").rstrip(".")
+        lines.append(
+            f"{label.ljust(label_w)}  {shown.rjust(8)}{unit}  {bar}".rstrip()
+        )
+    return "\n".join(lines)

@@ -200,6 +200,20 @@ class TestCacheSchemaVersioning:
 
         assert CACHE_SCHEMA_VERSION >= 2
 
+    def test_schema_version_is_bumped_for_the_fault_axis(self):
+        """v3: RunSpec/RunRecord gained the ``fault`` axis + ``outcome``
+        field — v2 entries would deserialize fine but must invalidate
+        rather than alias the fault-free cell (stale-schema regression
+        for the scenario/campaign PR)."""
+        from repro.analysis.cache import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION >= 3
+
+    def test_fault_distinguishes_cache_keys(self):
+        a = RunSpec(family="ring", n=8, seed=0, fault="none")
+        b = RunSpec(family="ring", n=8, seed=0, fault="crash_one")
+        assert cache_key(a) != cache_key(b)
+
     def test_algorithm_distinguishes_cache_keys(self):
         a = RunSpec(family="ring", n=8, seed=0, algorithm="blin_butelle")
         b = RunSpec(family="ring", n=8, seed=0, algorithm="fr_local")
@@ -210,3 +224,11 @@ class TestCacheSchemaVersioning:
         data = rec.to_json_dict()
         del data["algorithm"]  # record saved before the registry existed
         assert RunRecord.from_json_dict(data).algorithm == "blin_butelle"
+
+    def test_legacy_record_without_fault_loads_with_default(self):
+        rec = run_single("gnp_sparse", 10, seed=0)
+        data = rec.to_json_dict()
+        del data["fault"]  # record saved before the fault axis existed
+        del data["outcome"]
+        loaded = RunRecord.from_json_dict(data)
+        assert loaded.fault == "none" and loaded.ok

@@ -11,6 +11,7 @@ from repro.viz import (
     graph_summary,
     phase_timeline,
     render_adjacency,
+    render_bar_chart,
     render_degree_histogram,
     render_tree,
     round_narrative,
@@ -61,6 +62,24 @@ class TestAsciiGraph:
 
     def test_adjacency_too_big(self):
         assert "omitted" in render_adjacency(complete(40))
+
+
+class TestBarChart:
+    def test_scales_to_peak(self):
+        text = render_bar_chart([("a", 10.0), ("bb", 5.0)], width=10)
+        lines = text.splitlines()
+        assert lines[0].endswith("#" * 10)
+        assert lines[1].endswith("#" * 5)
+        assert lines[1].startswith("bb")
+
+    def test_zero_and_empty(self):
+        assert render_bar_chart([]) == "(no data)"
+        text = render_bar_chart([("x", 0.0)])
+        assert "#" not in text
+
+    def test_deterministic_value_formatting(self):
+        text = render_bar_chart([("x", 2.50), ("y", 3.0)])
+        assert "2.5" in text and "3" in text and "3.00" not in text
 
 
 class TestTraceView:
