@@ -81,6 +81,7 @@ from ..sim.metrics import SimulationReport
 from ..sim.monitors import parent_pointers_form_forest
 from ..sim.network import Network
 from ..sim.node import NodeContext, Process
+from ..sim.scheduler import SchedulerPolicy
 from ..sim.trace import TraceRecorder
 from ..spanning.provider import build_spanning_tree
 
@@ -578,6 +579,7 @@ def run_fr_local(
     check_invariants: bool = False,
     max_events: int = 5_000_000,
     faults: FaultPlan | None = None,
+    scheduler: SchedulerPolicy | None = None,
 ) -> MDSTResult:
     """Run the FR-style local-improvement protocol to termination.
 
@@ -634,6 +636,7 @@ def run_fr_local(
         seed=seed,
         trace=trace,
         monitors=monitors,
+        scheduler=scheduler,
     )
     report = net.run(max_events=max_events)
     final_tree = extract_final_tree(net, graph)

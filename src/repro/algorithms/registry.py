@@ -11,7 +11,8 @@ Runner contract
 ---------------
 ``run(graph, initial_tree=None, *, initial_method="echo",
 mode="concurrent", max_rounds=None, seed=0, delay=None, trace=None,
-check_invariants=False, max_events=..., faults=None) -> MDSTResult``
+check_invariants=False, max_events=..., faults=None, scheduler=None)
+-> MDSTResult``
 
 Algorithms are free to ignore knobs that do not apply to them (e.g. the
 FR-style protocol has no concurrent mode), but must accept them so a
@@ -19,7 +20,11 @@ sweep grid can cross algorithms with the other axes. ``faults`` is a
 :data:`~repro.sim.faults.FaultPlan` wrapped around the process factory
 (named plans expand via :func:`repro.sim.faults.fault_plan_from_name`);
 a faulty run must either complete certified or raise — never return a
-corrupt tree.
+corrupt tree. ``scheduler`` is an optional
+:class:`~repro.sim.scheduler.SchedulerPolicy` that takes over delivery
+ordering (named policies expand via
+:func:`repro.sim.scheduler.scheduler_from_name`); the same
+certified-or-raise contract must hold under any policy.
 
 ``degree_bound(opt, n)`` states the certified worst-case final degree on
 a graph with optimum ``opt`` and ``n`` nodes; the property suite checks
@@ -107,6 +112,7 @@ def _register_builtin_blin() -> None:
         check_invariants: bool = False,
         max_events: int = 5_000_000,
         faults=None,
+        scheduler=None,
     ):
         return run_mdst(
             graph,
@@ -119,6 +125,7 @@ def _register_builtin_blin() -> None:
             check_invariants=check_invariants,
             max_events=max_events,
             faults=faults,
+            scheduler=scheduler,
         )
 
     register_algorithm(

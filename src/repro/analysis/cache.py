@@ -35,13 +35,21 @@ __all__ = ["ResultCache", "CACHE_SCHEMA_VERSION", "cache_key"]
 #: records the ``outcome`` field (scenario/campaign PR) — v2 entries
 #: would deserialize fine but carry different run semantics, so they
 #: must invalidate rather than alias the fault-free cell.
-CACHE_SCHEMA_VERSION = 3
+#: v4: records/specs gained the ``scheduler`` axis (adversarial schedule
+#: policies, exploration PR) — a v3 entry has no scheduler field, so a
+#: policy-scheduled run would alias the time-scheduled cell.
+CACHE_SCHEMA_VERSION = 4
 
 
-def cache_key(spec: "RunSpec") -> str:
-    """Stable content hash of one run configuration."""
+def cache_key(spec: "RunSpec", *, salt: str = "") -> str:
+    """Stable content hash of one run configuration.
+
+    *salt* partitions the key space for non-default cell runners (e.g.
+    the exploration probe, whose error-capturing records must never be
+    served to a plain sweep of the same spec).
+    """
     canonical = json.dumps(
-        {"schema": CACHE_SCHEMA_VERSION, "spec": spec.to_json_dict()},
+        {"schema": CACHE_SCHEMA_VERSION, "salt": salt, "spec": spec.to_json_dict()},
         sort_keys=True,
         separators=(",", ":"),
     )
@@ -55,14 +63,15 @@ class ResultCache:
     the CLI's post-sweep summary line and the scaling benchmark).
     """
 
-    def __init__(self, root: str | Path) -> None:
+    def __init__(self, root: str | Path, *, salt: str = "") -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.salt = salt
         self.hits = 0
         self.misses = 0
 
     def _path(self, spec: "RunSpec") -> Path:
-        key = cache_key(spec)
+        key = cache_key(spec, salt=self.salt)
         return self.root / key[:2] / f"{key}.json"
 
     def get(self, spec: "RunSpec") -> RunRecord | None:

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
+from functools import partial
 from pathlib import Path
-from typing import Any, Protocol, Sequence, runtime_checkable
+from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..algorithms.registry import DEFAULT_ALGORITHM
 from ..errors import AnalysisError
@@ -59,6 +60,10 @@ class RunSpec:
     algorithm: str = DEFAULT_ALGORITHM
     #: named fault plan (see :func:`repro.sim.faults.fault_plan_from_name`)
     fault: str = "none"
+    #: named scheduler policy (see
+    #: :func:`repro.sim.scheduler.scheduler_from_name`); ``"none"`` is the
+    #: normal time-based schedule
+    scheduler: str = "none"
 
     def to_json_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -68,8 +73,14 @@ class RunSpec:
         return cls(**data)
 
 
+#: A cell runner: the unit of work an executor dispatches. Must be a
+#: module-level callable so :class:`ParallelExecutor` can pickle it by
+#: reference into worker processes.
+CellRunner = Callable[["RunSpec"], RunRecord]
+
+
 def execute_cell(spec: RunSpec) -> RunRecord:
-    """Run one cell (the unit of work every executor dispatches)."""
+    """Run one cell (the default cell runner)."""
     from .harness import run_single
 
     return run_single(
@@ -82,12 +93,13 @@ def execute_cell(spec: RunSpec) -> RunRecord:
         max_rounds=spec.max_rounds,
         algorithm=spec.algorithm,
         fault=spec.fault,
+        scheduler=spec.scheduler,
     )
 
 
-def _execute_cell_json(payload: dict[str, Any]) -> dict[str, Any]:
+def _execute_json(runner: CellRunner, payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: JSON dict in, JSON dict out (picklable both ways)."""
-    return execute_cell(RunSpec.from_json_dict(payload)).to_json_dict()
+    return runner(RunSpec.from_json_dict(payload)).to_json_dict()
 
 
 @runtime_checkable
@@ -98,10 +110,18 @@ class Executor(Protocol):
 
 
 class SerialExecutor:
-    """Reference backend: run every cell in-process, in order."""
+    """Reference backend: run every cell in-process, in order.
+
+    *runner* swaps the unit of work (default: :func:`execute_cell`); the
+    exploration harness substitutes its error-capturing probe.
+    """
+
+    def __init__(self, runner: CellRunner = execute_cell) -> None:
+        self.runner = runner
 
     def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
-        return [execute_cell(spec) for spec in cells]
+        runner = self.runner
+        return [runner(spec) for spec in cells]
 
 
 class ParallelExecutor:
@@ -110,22 +130,32 @@ class ParallelExecutor:
     ``ProcessPoolExecutor.map`` yields results in *submission* order, so
     the returned list matches the cell order bit-for-bit no matter which
     worker finishes first — determinism is positional, not temporal.
+
+    *runner* must be a module-level callable (pickled by reference into
+    the workers).
     """
 
-    def __init__(self, jobs: int) -> None:
+    def __init__(self, jobs: int, runner: CellRunner = execute_cell) -> None:
         if jobs < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
+        self.runner = runner
 
     def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
         if not cells:
             return []
         if self.jobs == 1 or len(cells) == 1:
-            return SerialExecutor().run(cells)
+            return SerialExecutor(self.runner).run(cells)
         payloads = [spec.to_json_dict() for spec in cells]
         chunksize = max(1, len(cells) // (self.jobs * 4))
         with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            rows = list(pool.map(_execute_cell_json, payloads, chunksize=chunksize))
+            rows = list(
+                pool.map(
+                    partial(_execute_json, self.runner),
+                    payloads,
+                    chunksize=chunksize,
+                )
+            )
         return [RunRecord.from_json_dict(row) for row in rows]
 
 
@@ -161,11 +191,19 @@ def make_executor(
     *,
     jobs: int = 1,
     cache: ResultCache | str | Path | None = None,
+    runner: CellRunner = execute_cell,
 ) -> Executor:
-    """Build the executor implied by the ``--jobs`` / ``--cache`` knobs."""
+    """Build the executor implied by the ``--jobs`` / ``--cache`` knobs.
+
+    A non-default *runner* must pair with a salted cache (see
+    :class:`~repro.analysis.cache.ResultCache`) so its records never
+    alias the plain-run entries for the same spec.
+    """
     if jobs < 1:
         raise AnalysisError(f"jobs must be >= 1, got {jobs}")
-    executor: Executor = ParallelExecutor(jobs) if jobs > 1 else SerialExecutor()
+    executor: Executor = (
+        ParallelExecutor(jobs, runner) if jobs > 1 else SerialExecutor(runner)
+    )
     if cache is not None:
         executor = CachingExecutor(executor, cache)
     return executor

@@ -21,6 +21,7 @@ from ..graphs.generators import FAMILIES, make_family
 from ..mdst.config import MODES
 from ..sim.delays import DELAY_NAMES, delay_model_from_name
 from ..sim.faults import NO_FAULT, fault_names, fault_plan_from_name
+from ..sim.scheduler import NO_SCHEDULER, scheduler_from_name, scheduler_names
 from ..spanning.provider import (
     CENTRALIZED_METHODS,
     DISTRIBUTED_METHODS,
@@ -65,6 +66,7 @@ class SweepSpec:
     delays: tuple[str, ...] = ("unit",)
     algorithms: tuple[str, ...] = (DEFAULT_ALGORITHM,)
     faults: tuple[str, ...] = (NO_FAULT,)
+    schedulers: tuple[str, ...] = (NO_SCHEDULER,)
     max_rounds: int | None = None
 
     def __post_init__(self) -> None:
@@ -77,6 +79,7 @@ class SweepSpec:
             and self.delays
             and self.algorithms
             and self.faults
+            and self.schedulers
         ):
             raise AnalysisError("sweep axes must be non-empty")
         _check_axis(self.families, tuple(FAMILIES), "family")
@@ -85,6 +88,7 @@ class SweepSpec:
         _check_axis(self.delays, DELAY_NAMES, "delay model")
         _check_axis(self.algorithms, algorithm_names(), "algorithm")
         _check_axis(self.faults, fault_names(), "fault plan")
+        _check_axis(self.schedulers, scheduler_names(), "scheduler policy")
         bad_sizes = [n for n in self.sizes if n < 1]
         if bad_sizes:
             raise AnalysisError(f"sizes must be >= 1, got {bad_sizes!r}")
@@ -102,12 +106,14 @@ class SweepSpec:
                 max_rounds=self.max_rounds,
                 algorithm=algorithm,
                 fault=fault,
+                scheduler=scheduler,
             )
             for family in self.families
             for n in self.sizes
             for method in self.initial_methods
             for mode in self.modes
             for delay in self.delays
+            for scheduler in self.schedulers
             for algorithm in self.algorithms
             for fault in self.faults
             for seed in self.seeds
@@ -125,6 +131,7 @@ def run_single(
     max_rounds: int | None = None,
     algorithm: str = DEFAULT_ALGORITHM,
     fault: str = NO_FAULT,
+    scheduler: str = NO_SCHEDULER,
 ) -> RunRecord:
     """Run one configuration and flatten it into a record.
 
@@ -134,6 +141,13 @@ def run_single(
     record with zeroed metrics instead of raising, so fault scenarios
     can tabulate stall rates next to completed runs. Without a fault the
     exception propagates: stalling under the reliable model is a bug.
+
+    A named *scheduler* policy hands delivery ordering to an adversary
+    (the *delay* axis is then inert). Protocol failures under an
+    admissible adversarial schedule are real bugs, so they propagate
+    exactly like fault-free failures — the exploration harness wraps this
+    with an error-capturing probe instead
+    (:func:`repro.exploration.probe_cell`).
     """
     graph = make_family(family, n, seed=seed)
     startup = build_spanning_tree(graph, method=initial_method, seed=seed)
@@ -150,6 +164,7 @@ def run_single(
             seed=seed,
             delay=delay_model_from_name(delay),
             faults=plan or None,
+            scheduler=scheduler_from_name(scheduler),
         )
     except (TerminationError, ProtocolError):
         if fault == NO_FAULT:
@@ -173,6 +188,7 @@ def run_single(
             startup_messages=startup_messages,
             max_rounds=max_rounds,
             fault=fault,
+            scheduler=scheduler,
             outcome="stalled",
         )
     return RunRecord(
@@ -194,6 +210,7 @@ def run_single(
         startup_messages=startup_messages,
         max_rounds=max_rounds,
         fault=fault,
+        scheduler=scheduler,
     )
 
 

@@ -43,6 +43,12 @@ class RunRecord:
     #: named fault plan injected into the run ("none" = the paper's
     #: reliable model; see :func:`repro.sim.faults.fault_plan_from_name`)
     fault: str = "none"
+    #: named scheduler policy that ordered deliveries ("none" = normal
+    #: time-based scheduling; see
+    #: :func:`repro.sim.scheduler.scheduler_from_name`). Recorded so two
+    #: runs of the same spec under different schedules never alias —
+    #: in tables, artifacts, or cache keys.
+    scheduler: str = "none"
     #: "ok" for a certified run; "stalled" when an injected fault made
     #: the protocol stall loudly (metrics fields are then zeroed and
     #: ``k_final`` repeats ``k_initial`` — no improvement was certified)

@@ -6,8 +6,10 @@ Subcommands
 ``sweep``     a small sweep printed as a paper-style table
 ``compare``   head-to-head of registered algorithms on one instance
 ``campaign``  run a named / file-based scenario campaign into a report
+``explore``   adversarial schedule exploration + counterexample shrinking
 ``exact``     ground-truth Δ* for a small instance
-``families``  list workload families, delays, algorithms, faults, scenarios
+``families``  list workload families, delays, algorithms, faults,
+              scheduler policies, scenarios
 ``certify``   run + certification against the paper's claims
 """
 
@@ -26,6 +28,7 @@ from .mdst.config import MODES
 from .sequential.exact import optimal_degree
 from .sim.delays import DELAY_NAMES, delay_model_from_name
 from .sim.faults import NO_FAULT, fault_names, fault_plan_from_name
+from .sim.scheduler import NO_SCHEDULER, scheduler_from_name, scheduler_names
 from .spanning.provider import (
     CENTRALIZED_METHODS,
     DISTRIBUTED_METHODS,
@@ -100,6 +103,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PLAN",
         help=f"named fault plan(s) to sweep ({', '.join(fault_names())})",
     )
+    sweep_p.add_argument(
+        "--scheduler",
+        nargs="+",
+        default=[NO_SCHEDULER],
+        choices=list(scheduler_names()),
+        metavar="POLICY",
+        help=(
+            "scheduler policy/policies to sweep "
+            f"({', '.join(scheduler_names())})"
+        ),
+    )
 
     compare_p = sub.add_parser(
         "compare",
@@ -128,6 +142,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "named fault plan injected into every algorithm "
             f"({', '.join(fault_names())}); stalled runs are tabulated"
+        ),
+    )
+    compare_p.add_argument(
+        "--scheduler",
+        default=NO_SCHEDULER,
+        choices=list(scheduler_names()),
+        metavar="POLICY",
+        help=(
+            "adversarial scheduler policy ordering every algorithm's "
+            f"deliveries ({', '.join(scheduler_names())})"
         ),
     )
     compare_p.add_argument(
@@ -217,6 +241,92 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write report.md + report.json under DIR",
     )
+
+    exp = sub.add_parser(
+        "explore",
+        help=(
+            "fan (graph x seed x scheduler-policy) cells through the "
+            "differential oracle; shrink and save any counterexample"
+        ),
+    )
+    exp.add_argument(
+        "--families",
+        nargs="+",
+        default=["gnp_sparse"],
+        choices=_FAMILY_CHOICES,
+        metavar="FAMILY",
+        help=f"workload families ({', '.join(_FAMILY_CHOICES)})",
+    )
+    exp.add_argument("--sizes", nargs="+", type=int, default=[6, 8, 10])
+    exp.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=list(range(8)),
+        help="instance/schedule seeds (each is an independent schedule)",
+    )
+    exp.add_argument(
+        "--schedulers",
+        nargs="+",
+        default=["lifo", "random", "starve"],
+        choices=list(scheduler_names()),
+        metavar="POLICY",
+        help=f"scheduler policies to explore ({', '.join(scheduler_names())})",
+    )
+    exp.add_argument(
+        "--delay",
+        default="unit",
+        choices=list(DELAY_NAMES),
+        help="delay model for scheduler=none cells (inert under a policy)",
+    )
+    exp.add_argument(
+        "--initial",
+        default="random",
+        choices=list(DISTRIBUTED_METHODS + CENTRALIZED_METHODS),
+        help="startup spanning-tree construction for every cell",
+    )
+    exp.add_argument(
+        "--tiny",
+        action="store_true",
+        help="use the fixed CI smoke grid instead of the axes above",
+    )
+    exp.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (verdicts are identical for any value)",
+    )
+    exp.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="probe result-cache directory (salted; safe to share a disk "
+        "location with sweep caches)",
+    )
+    exp.add_argument(
+        "--out",
+        default="counterexamples",
+        metavar="DIR",
+        help="directory for shrunk counterexample artifacts",
+    )
+    exp.add_argument(
+        "--exact-limit",
+        type=int,
+        default=12,
+        help="largest n the oracle solves exactly",
+    )
+    exp.add_argument(
+        "--max-probes",
+        type=int,
+        default=200,
+        help="shrinker probe budget per counterexample",
+    )
+    exp.add_argument(
+        "--max-shrink",
+        type=int,
+        default=5,
+        help="shrink at most this many distinct failures",
+    )
     return parser
 
 
@@ -252,6 +362,16 @@ def _common_axes(p: argparse.ArgumentParser) -> None:
         metavar="PLAN",
         help=f"named fault plan to inject ({', '.join(fault_names())})",
     )
+    p.add_argument(
+        "--scheduler",
+        default=NO_SCHEDULER,
+        choices=list(scheduler_names()),
+        metavar="POLICY",
+        help=(
+            "adversarial scheduler policy ordering deliveries "
+            f"({', '.join(scheduler_names())}; bypasses --delay)"
+        ),
+    )
 
 
 def _run_once(args: argparse.Namespace):
@@ -265,6 +385,7 @@ def _run_once(args: argparse.Namespace):
         seed=args.seed,
         delay=delay_model_from_name(args.delay),
         faults=plan or None,
+        scheduler=scheduler_from_name(args.scheduler),
     )
     return result
 
@@ -288,6 +409,7 @@ def main(argv: list[str] | None = None) -> int:
             ("delay models", list(DELAY_NAMES)),
             ("algorithms", list(algorithm_names())),
             ("fault plans", list(fault_names())),
+            ("scheduler policies", list(scheduler_names())),
             ("scenarios", sorted(SCENARIOS)),
         ]
         for i, (title, names) in enumerate(sections):
@@ -360,6 +482,7 @@ def main(argv: list[str] | None = None) -> int:
                     seed=args.seed,
                     delay=delay_model_from_name(args.delay),
                     faults=plan or None,
+                    scheduler=scheduler_from_name(args.scheduler),
                 )
             except (TerminationError, ProtocolError):
                 if args.fault == NO_FAULT:
@@ -391,21 +514,23 @@ def main(argv: list[str] | None = None) -> int:
             delays=(args.delay,),
             algorithms=tuple(args.algorithm),
             faults=tuple(args.fault),
+            schedulers=tuple(args.scheduler),
         )
         cache = ResultCache(args.cache) if args.cache else None
         records = run_sweep(spec, jobs=args.jobs, cache=cache)
         table = Table(
             [
-                "algorithm", "family", "n", "m", "seed", "fault", "k0",
-                "k*", "rounds", "msgs", "time",
+                "algorithm", "family", "n", "m", "seed", "fault", "sched",
+                "k0", "k*", "rounds", "msgs", "time",
             ],
             title="MDegST sweep",
         )
         for r in records:
             table.add(
                 r.algorithm, r.family, r.n, r.m, r.seed, r.fault,
+                r.scheduler,
                 r.k_initial,
-                r.k_final if r.ok else "stalled",
+                r.k_final if r.ok else r.outcome,
                 r.rounds, r.messages, r.causal_time,
             )
         print(table.render())
@@ -419,6 +544,9 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.command == "campaign":
         return _campaign(args)
+
+    if args.command == "explore":
+        return _explore(args)
 
     return 1  # pragma: no cover - argparse enforces commands
 
@@ -483,6 +611,66 @@ def _campaign(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     return 0
+
+
+def _explore(args: argparse.Namespace) -> int:
+    from .exploration import (
+        explore,
+        exploration_grid,
+        shrink,
+        tiny_grid,
+        write_artifact,
+    )
+
+    if args.tiny:
+        grid = tiny_grid()
+    else:
+        grid = exploration_grid(
+            families=tuple(args.families),
+            sizes=tuple(args.sizes),
+            seeds=tuple(args.seeds),
+            schedulers=tuple(args.schedulers),
+            delays=(args.delay,),
+            initial_method=args.initial,
+        )
+    results = explore(
+        grid, jobs=args.jobs, cache=args.cache, exact_limit=args.exact_limit
+    )
+    probes = sum(len(r.records) for r in results)
+    failures = [r for r in results if not r.ok]
+    print(
+        f"explored {len(results)} cells ({probes} probe runs): "
+        f"{len(failures)} counterexample(s)"
+    )
+    if not failures:
+        return 0
+    for result in failures[: args.max_shrink]:
+        outcome = shrink(
+            result.cell,
+            exact_limit=args.exact_limit,
+            max_probes=args.max_probes,
+        )
+        path = write_artifact(
+            args.out,
+            outcome.result,
+            note=f"found by repro explore; shrunk from {result.cell.canonical()}",
+        )
+        print()
+        print(f"counterexample: {result.cell.canonical()}")
+        print(
+            f"  shrunk ({outcome.probes} probes) -> "
+            f"{outcome.cell.canonical()}"
+        )
+        for code, detail in zip(
+            outcome.result.verdict.failures, outcome.result.verdict.details
+        ):
+            print(f"  [{code}] {detail}")
+        print(f"  artifact: {path}")
+    skipped = len(failures) - min(len(failures), args.max_shrink)
+    if skipped:
+        print(f"\n({skipped} further failing cell(s) not shrunk; "
+              f"raise --max-shrink to cover them)")
+    return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,60 @@
+"""Adversarial schedule exploration with counterexample shrinking.
+
+The paper's claims are quantified over *all* asynchronous schedules;
+this package makes that quantifier searchable. It fans (graph × seed ×
+scheduler-policy) cells through the executor layer with an
+error-capturing probe, judges every run with a differential oracle
+(certified-run integrity, claimed degree bound vs. the exact solver on
+small instances, cross-algorithm agreement), delta-debugs any failure
+down to the smallest (n, seed, policy) triple, and pins both fresh
+counterexamples and fixed regressions as replayable JSON artifacts.
+
+Entry points: ``python -m repro explore`` (CLI),
+:func:`~repro.exploration.explorer.explore` /
+:func:`~repro.exploration.shrink.shrink` (library), and the regression
+corpus replayed by ``tests/test_exploration.py``.
+"""
+
+from .artifacts import (
+    ARTIFACT_SCHEMA,
+    artifact_bytes,
+    artifact_name,
+    corpus_paths,
+    load_artifact,
+    replay_artifact,
+    write_artifact,
+)
+from .cells import (
+    DEFAULT_ALGORITHMS,
+    ExplorationCell,
+    exploration_grid,
+    tiny_grid,
+)
+from .explorer import ExplorationResult, explore, explore_one
+from .oracle import EXACT_LIMIT, Verdict, check_cell
+from .probe import PROBE_CACHE_SALT, probe_cell
+from .shrink import ShrinkOutcome, shrink
+
+__all__ = [
+    "ExplorationCell",
+    "exploration_grid",
+    "tiny_grid",
+    "DEFAULT_ALGORITHMS",
+    "probe_cell",
+    "PROBE_CACHE_SALT",
+    "Verdict",
+    "check_cell",
+    "EXACT_LIMIT",
+    "ExplorationResult",
+    "explore",
+    "explore_one",
+    "ShrinkOutcome",
+    "shrink",
+    "ARTIFACT_SCHEMA",
+    "artifact_name",
+    "artifact_bytes",
+    "write_artifact",
+    "load_artifact",
+    "replay_artifact",
+    "corpus_paths",
+]

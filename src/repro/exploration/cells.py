@@ -1,0 +1,165 @@
+"""Exploration cells: one differential probe = one cell.
+
+An :class:`ExplorationCell` names everything the harness needs to replay
+one adversarial-schedule probe: the instance ``(family, n, seed)``, the
+schedule (``scheduler`` policy or the time-based ``delay`` model when the
+policy is ``"none"``) and the *set* of algorithms run on the identical
+instance for the cross-algorithm oracle. A cell expands to one
+:class:`~repro.analysis.executor.RunSpec` per algorithm, so a batch of
+cells flattens into a single executor batch — the same Serial / Parallel
+/ Caching backends that power sweeps and campaigns fan exploration out.
+
+Cells are frozen, JSON-round-trippable and totally ordered by their
+canonical JSON — the shrinker and the counterexample artifacts depend on
+a cell being a *value*.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, replace
+from typing import Any
+
+from ..algorithms import algorithm_names
+from ..analysis.executor import RunSpec
+from ..errors import AnalysisError
+from ..graphs.generators import FAMILIES
+from ..sim.delays import DELAY_NAMES
+from ..sim.scheduler import NO_SCHEDULER, scheduler_names
+
+__all__ = ["ExplorationCell", "exploration_grid", "tiny_grid", "DEFAULT_ALGORITHMS"]
+
+#: The differential pair: every registered algorithm claims a final
+#: degree within Δ*+1, so on the same instance their results may differ
+#: by at most one.
+DEFAULT_ALGORITHMS: tuple[str, ...] = ("blin_butelle", "fr_local")
+
+
+@dataclass(frozen=True)
+class ExplorationCell:
+    """One (instance × schedule × algorithm-set) probe."""
+
+    family: str
+    n: int
+    seed: int
+    scheduler: str = NO_SCHEDULER
+    #: time-based delay model used when ``scheduler == "none"`` (inert
+    #: otherwise); exponential delays are the classic reorder pressure
+    delay: str = "unit"
+    initial_method: str = "random"
+    mode: str = "concurrent"
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS
+
+    def __post_init__(self) -> None:
+        if self.n < 1:
+            raise AnalysisError(f"cell size must be >= 1, got {self.n}")
+        if not self.algorithms:
+            raise AnalysisError("a cell needs at least one algorithm")
+        if not isinstance(self.algorithms, tuple):
+            object.__setattr__(self, "algorithms", tuple(self.algorithms))
+
+    def run_specs(self) -> tuple[RunSpec, ...]:
+        """One executor cell per algorithm, identical instance/schedule.
+
+        ``RunSpec`` construction validates nothing by itself; the values
+        are validated when the probe expands them (unknown names fail
+        loudly inside :func:`~repro.exploration.probe.probe_cell`).
+        """
+        return tuple(
+            RunSpec(
+                family=self.family,
+                n=self.n,
+                seed=self.seed,
+                initial_method=self.initial_method,
+                mode=self.mode,
+                delay=self.delay,
+                algorithm=algorithm,
+                scheduler=self.scheduler,
+            )
+            for algorithm in self.algorithms
+        )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        data = asdict(self)
+        data["algorithms"] = list(self.algorithms)
+        return data
+
+    @classmethod
+    def from_json_dict(cls, data: dict[str, Any]) -> "ExplorationCell":
+        try:
+            cell = cls(**{**data, "algorithms": tuple(data["algorithms"])})
+        except (TypeError, KeyError) as exc:
+            raise AnalysisError(f"invalid exploration cell: {exc}") from None
+        return cell
+
+    def canonical(self) -> str:
+        """Stable one-line JSON (artifact identity and ordering key)."""
+        return json.dumps(self.to_json_dict(), sort_keys=True, separators=(",", ":"))
+
+    def with_(self, **changes: Any) -> "ExplorationCell":
+        """Frozen-copy update (the shrinker's single mutation primitive)."""
+        return replace(self, **changes)
+
+
+def _check(values: tuple[str, ...], valid: tuple[str, ...], axis: str) -> None:
+    unknown = [v for v in values if v not in valid]
+    if unknown:
+        raise AnalysisError(
+            f"unknown {axis} {unknown!r}; valid choices: {sorted(valid)}"
+        )
+
+
+def exploration_grid(
+    *,
+    families: tuple[str, ...] = ("gnp_sparse",),
+    sizes: tuple[int, ...] = (6, 8, 10),
+    seeds: tuple[int, ...] = tuple(range(8)),
+    schedulers: tuple[str, ...] = ("lifo", "random", "starve"),
+    delays: tuple[str, ...] = ("unit",),
+    initial_method: str = "random",
+    mode: str = "concurrent",
+    algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
+) -> tuple[ExplorationCell, ...]:
+    """Flatten an exploration grid into cells (stable order).
+
+    The ``delays`` axis only multiplies the ``scheduler == "none"``
+    cells — under a policy the delay model is bypassed, so crossing it
+    with policies would enumerate duplicate schedules.
+    """
+    _check(families, tuple(FAMILIES), "family")
+    _check(schedulers, scheduler_names(), "scheduler policy")
+    _check(delays, DELAY_NAMES, "delay model")
+    _check(algorithms, algorithm_names(), "algorithm")
+    cells = []
+    for family in families:
+        for n in sizes:
+            for scheduler in schedulers:
+                cell_delays = delays if scheduler == NO_SCHEDULER else delays[:1]
+                for delay in cell_delays:
+                    for seed in seeds:
+                        cells.append(
+                            ExplorationCell(
+                                family=family,
+                                n=n,
+                                seed=seed,
+                                scheduler=scheduler,
+                                delay=delay,
+                                initial_method=initial_method,
+                                mode=mode,
+                                algorithms=algorithms,
+                            )
+                        )
+    return tuple(cells)
+
+
+def tiny_grid() -> tuple[ExplorationCell, ...]:
+    """The CI smoke grid: small enough to finish in seconds, adversarial
+    enough that the mutation self-test's injected cutter-gate bug is
+    found (pinned by ``tests/test_exploration.py``)."""
+    return exploration_grid(
+        families=("gnp_sparse",),
+        sizes=(6, 8),
+        seeds=tuple(range(6)),
+        schedulers=("none", "lifo", "random"),
+        delays=("exponential",),
+    )

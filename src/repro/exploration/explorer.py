@@ -1,0 +1,106 @@
+"""Fan exploration cells out through the executor layer and judge them.
+
+One exploration batch = every cell's probe specs flattened into a single
+executor batch (so a parallel backend keeps all workers busy across the
+whole grid and a caching backend shares completed probes between
+explorations), then records are split back per cell positionally and
+judged by the differential oracle — the same flatten/split discipline the
+campaign runner uses, with the error-capturing probe as the unit of work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Sequence
+
+from ..analysis.cache import ResultCache
+from ..analysis.executor import Executor, make_executor
+from ..analysis.records import RunRecord
+from .cells import ExplorationCell
+from .oracle import EXACT_LIMIT, Verdict, check_cell
+from .probe import PROBE_CACHE_SALT, probe_cell
+
+__all__ = ["ExplorationResult", "explore", "explore_one"]
+
+
+@dataclass(frozen=True)
+class ExplorationResult:
+    """One judged cell: the probe records and the oracle's verdict."""
+
+    cell: ExplorationCell
+    verdict: Verdict
+    records: tuple[RunRecord, ...]
+
+    @property
+    def ok(self) -> bool:
+        return self.verdict.ok
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "cell": self.cell.to_json_dict(),
+            "verdict": self.verdict.to_json_dict(),
+            "records": [r.to_json_dict() for r in self.records],
+        }
+
+
+def _probe_executor(
+    executor: Executor | None,
+    jobs: int,
+    cache: ResultCache | str | Path | None,
+) -> Executor:
+    if executor is not None:
+        return executor
+    if cache is not None:
+        if not isinstance(cache, ResultCache):
+            cache = ResultCache(cache, salt=PROBE_CACHE_SALT)
+        elif not cache.salt:
+            # an unsalted store would alias probe records with plain
+            # sweep records of the same spec; re-open it salted (an
+            # explicitly salted store is left as the caller partitioned)
+            cache = ResultCache(cache.root, salt=PROBE_CACHE_SALT)
+    return make_executor(jobs=jobs, cache=cache, runner=probe_cell)
+
+
+def explore(
+    cells: Sequence[ExplorationCell],
+    *,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+    exact_limit: int = EXACT_LIMIT,
+) -> list[ExplorationResult]:
+    """Probe and judge every cell (deterministic in the cell list).
+
+    Parameters mirror :func:`~repro.analysis.harness.run_sweep`: an
+    explicit *executor* overrides *jobs* / *cache*; a path-like *cache*
+    is opened salted so probe records stay separate from plain sweep
+    records. Records come back in cell order for any backend, so the
+    verdict list is bit-identical under serial and parallel execution.
+    """
+    cells = list(cells)
+    backend = _probe_executor(executor, jobs, cache)
+    specs = [spec for cell in cells for spec in cell.run_specs()]
+    records = backend.run(specs)
+    results: list[ExplorationResult] = []
+    offset = 0
+    for cell in cells:
+        width = len(cell.algorithms)
+        chunk = tuple(records[offset : offset + width])
+        offset += width
+        results.append(
+            ExplorationResult(
+                cell=cell,
+                verdict=check_cell(cell, chunk, exact_limit=exact_limit),
+                records=chunk,
+            )
+        )
+    return results
+
+
+def explore_one(
+    cell: ExplorationCell, *, exact_limit: int = EXACT_LIMIT
+) -> ExplorationResult:
+    """Probe and judge a single cell in-process (the shrinker's and the
+    corpus replayer's primitive)."""
+    return explore([cell], exact_limit=exact_limit)[0]

@@ -12,6 +12,7 @@ from ..sim.faults import FaultPlan, wrap_factory
 from ..sim.metrics import SimulationReport
 from ..sim.monitors import parent_pointers_form_forest
 from ..sim.network import Network
+from ..sim.scheduler import SchedulerPolicy
 from ..sim.trace import TraceRecorder
 from ..spanning.provider import build_spanning_tree
 from .config import MDSTConfig
@@ -33,6 +34,7 @@ def run_mdst(
     check_invariants: bool = False,
     max_events: int = 5_000_000,
     faults: FaultPlan | None = None,
+    scheduler: SchedulerPolicy | None = None,
 ) -> MDSTResult:
     """Run the distributed MDegST algorithm of Blin & Butelle on *graph*.
 
@@ -59,6 +61,10 @@ def run_mdst(
         corrupt result: the run either completes certified or raises
         :class:`~repro.errors.ProtocolError` /
         :class:`~repro.errors.TerminationError`.
+    scheduler:
+        Optional :class:`~repro.sim.scheduler.SchedulerPolicy` that takes
+        over delivery ordering (adversarial schedule exploration); the
+        *delay* model is then bypassed.
 
     Returns
     -------
@@ -111,6 +117,7 @@ def run_mdst(
         seed=seed,
         trace=trace,
         monitors=monitors,
+        scheduler=scheduler,
     )
     report = net.run(max_events=max_events)
     final_tree = extract_final_tree(net, graph)

@@ -19,6 +19,9 @@ its axes) and from tests (every entry has an end-to-end smoke test).
 * ``crash_storm`` — crash-stop fault plans, same dichotomy;
 * ``adversarial_delay`` — per-link skew and exponential reordering
   pressure vs. the unit-delay analysis assumption;
+* ``schedule_storm`` — adversarial scheduler policies (newest-first,
+  seeded random walk, one-node starvation) vs. the time-based baseline:
+  the schedule-freedom claim as a first-class regime;
 * ``head_to_head`` — every registered algorithm on identical instances.
 """
 
@@ -107,6 +110,17 @@ def _build() -> dict[str, ScenarioSpec]:
             sizes=(16,),
             seeds=(0, 1, 2),
             delays=("unit", "perlink", "exponential"),
+        ),
+        ScenarioSpec(
+            name="schedule_storm",
+            description=(
+                "adversarial scheduler policies vs. time-based delivery"
+            ),
+            families=("gnp_sparse",),
+            sizes=(16,),
+            seeds=(0, 1, 2),
+            schedulers=("none", "lifo", "random", "starve"),
+            algorithms=algorithm_names(),
         ),
         ScenarioSpec(
             name="head_to_head",

@@ -25,6 +25,7 @@ from ..analysis.executor import RunSpec
 from ..analysis.harness import SweepSpec
 from ..errors import AnalysisError
 from ..sim.faults import NO_FAULT
+from ..sim.scheduler import NO_SCHEDULER
 
 __all__ = ["ScenarioSpec", "CampaignSpec"]
 
@@ -42,6 +43,7 @@ SCENARIO_FIELDS = (
     "modes",
     "delays",
     "faults",
+    "schedulers",
     "algorithms",
     "max_rounds",
 )
@@ -74,6 +76,7 @@ class ScenarioSpec:
     modes: tuple[str, ...] = ("concurrent",)
     delays: tuple[str, ...] = ("unit",)
     faults: tuple[str, ...] = (NO_FAULT,)
+    schedulers: tuple[str, ...] = (NO_SCHEDULER,)
     algorithms: tuple[str, ...] = (DEFAULT_ALGORITHM,)
     max_rounds: int | None = None
 
@@ -83,7 +86,7 @@ class ScenarioSpec:
         # frozen specs stay hashable and order-stable
         for axis in (
             "families", "sizes", "seeds", "initial_methods", "modes",
-            "delays", "faults", "algorithms",
+            "delays", "faults", "schedulers", "algorithms",
         ):
             value = getattr(self, axis)
             if isinstance(value, str) or not isinstance(value, (list, tuple)):
@@ -105,6 +108,7 @@ class ScenarioSpec:
             delays=self.delays,
             algorithms=self.algorithms,
             faults=self.faults,
+            schedulers=self.schedulers,
             max_rounds=self.max_rounds,
         )
 

@@ -28,6 +28,18 @@ from .monitors import (
 )
 from .network import Network
 from .node import NodeContext, Process
+from .scheduler import (
+    NO_SCHEDULER,
+    FifoScheduler,
+    LifoScheduler,
+    PolicyQueue,
+    RandomScheduler,
+    SchedulerPolicy,
+    StarveNodeScheduler,
+    register_scheduler,
+    scheduler_from_name,
+    scheduler_names,
+)
 from .trace import TraceRecord, TraceRecorder, format_trace
 
 __all__ = [
@@ -61,4 +73,14 @@ __all__ = [
     "fault_names",
     "fault_plan_from_name",
     "register_fault_plan",
+    "SchedulerPolicy",
+    "PolicyQueue",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "StarveNodeScheduler",
+    "NO_SCHEDULER",
+    "scheduler_names",
+    "scheduler_from_name",
+    "register_scheduler",
 ]

@@ -24,6 +24,12 @@ path that additionally emits trace records and runs periodic monitors.
 Both consume the identical ``(time, seq)``-ordered queue, so event
 ordering — and therefore every metric — is byte-for-byte the same
 whichever loop runs.
+
+With a :class:`~repro.sim.scheduler.SchedulerPolicy` attached, delivery
+order is taken over by the policy instead of the clock (per-link FIFO is
+still enforced structurally by :class:`~repro.sim.scheduler.PolicyQueue`),
+the delay model is never sampled, and the general loop runs — the
+adversarial-schedule configuration used by :mod:`repro.exploration`.
 """
 
 from __future__ import annotations
@@ -38,6 +44,7 @@ from .events import EventKind, EventQueue
 from .messages import Message
 from .metrics import MessageStats, SimulationReport
 from .node import NodeContext, Process
+from .scheduler import PolicyQueue, SchedulerPolicy
 from .trace import TraceRecord, TraceRecorder
 
 __all__ = ["Network", "ProcessFactory"]
@@ -71,6 +78,10 @@ class Network:
     monitors:
         Iterable of callables ``network -> None`` invoked every
         *monitor_interval* processed events (invariant checking in tests).
+    scheduler:
+        Optional :class:`~repro.sim.scheduler.SchedulerPolicy`. When set,
+        the policy picks every delivery (the *delay* model is bypassed;
+        simulated time becomes the virtual step index).
     """
 
     def __init__(
@@ -84,11 +95,17 @@ class Network:
         trace: TraceRecorder | None = None,
         monitors: Iterable[object] = (),
         monitor_interval: int = 256,
+        scheduler: SchedulerPolicy | None = None,
     ) -> None:
         if graph.n == 0:
             raise SimulationError("cannot simulate an empty network")
         self.graph = graph
-        self.queue = EventQueue()
+        self.scheduler = scheduler
+        if scheduler is not None:
+            scheduler.bind(seed, graph.n)
+            self.queue: EventQueue = PolicyQueue(scheduler)
+        else:
+            self.queue = EventQueue()
         self.stats = MessageStats(n=graph.n)
         self.trace = trace
         self.delay = delay if delay is not None else UnitDelay()
@@ -132,7 +149,9 @@ class Network:
             raise SimulationError(f"payload must be a Message, got {type(msg)!r}")
         queue = self.queue
         now = queue._now
-        if self._unit_delay:
+        if self.scheduler is not None:
+            deliver_at = now  # a label only: the policy orders deliveries
+        elif self._unit_delay:
             deliver_at = now + 1.0
         else:
             latency = self.delay.sample(src, dst)
@@ -182,9 +201,11 @@ class Network:
         protocols in this library terminate by process, so hitting the cap
         is always a bug.
         """
-        if self.trace is None and not self.monitors:
+        if self.trace is None and not self.monitors and self.scheduler is None:
             processed = self._run_fast(max_events)
         else:
+            # the general loop pops via the queue, so a PolicyQueue's
+            # policy-ordered pop_raw slots in transparently
             processed = self._run_general(max_events)
         # final monitor sweep at quiescence
         for monitor in self.monitors:

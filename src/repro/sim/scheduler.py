@@ -1,0 +1,272 @@
+"""Adversarial scheduler policies: who delivers next is the adversary's call.
+
+The paper's correctness claims are schedule-free — the protocol must
+produce a certified tree under *any* asynchronous message ordering, not
+just the orderings that time-based delay models happen to produce. Delay
+models (:mod:`repro.sim.delays`) randomize *latencies*; a scheduler
+policy goes further and takes over the *delivery order* itself: at every
+step the policy inspects the set of currently deliverable events (one
+head per FIFO link, plus undelivered node wake-ups) and picks which one
+fires. This is the classic schedule-exploration model (PCT / random-walk
+schedulers in model checkers), and it is what the
+:mod:`repro.exploration` harness fans out over.
+
+Admissibility: any order is legal as long as per-link FIFO is preserved
+(the one ordering guarantee the engine documents) and only sent messages
+are delivered. :class:`PolicyQueue` enforces both structurally — a policy
+can *only* choose among admissible heads, so even a hostile policy cannot
+express an illegal schedule.
+
+Under a policy, simulated "time" is the virtual step index (delays are
+never sampled; the ``delay`` axis is inert). Causal depth, message and
+round counts — everything the paper's claims quantify — are unaffected.
+
+Every policy is deterministic in ``(name, n, seed)``: the explorer's
+shrinker and the regression corpus rely on a named policy replaying the
+exact same schedule.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from collections.abc import Sequence
+from typing import Any
+
+from ..errors import SchedulingError
+from ..rng import derive_seed, substream
+from .events import Event, EventKind, EventQueue
+
+__all__ = [
+    "SchedulerPolicy",
+    "FifoScheduler",
+    "LifoScheduler",
+    "RandomScheduler",
+    "StarveNodeScheduler",
+    "PolicyQueue",
+    "NO_SCHEDULER",
+    "scheduler_names",
+    "scheduler_from_name",
+    "register_scheduler",
+]
+
+#: A deliverable head as shown to a policy: ``(seq, target, sender)``.
+#: ``sender == -1`` marks a node wake-up (START) event. Heads are always
+#: presented in ascending ``seq`` (send order), so index 0 is the oldest.
+Head = tuple[int, int, int]
+
+
+class SchedulerPolicy(ABC):
+    """Strategy that picks the next deliverable event.
+
+    ``bind(seed, n)`` is called once by the network at build time (the
+    registry hands out reusable instances); ``choose`` is called once per
+    simulator step with the admissible heads in ascending send order and
+    returns the index of the event to fire.
+    """
+
+    @abstractmethod
+    def bind(self, seed: int, n: int) -> None:
+        """Re-seed internal streams for an *n*-node network."""
+
+    @abstractmethod
+    def choose(self, heads: Sequence[Head]) -> int:
+        """Index (into *heads*) of the event to deliver next."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class FifoScheduler(SchedulerPolicy):
+    """Globally FIFO: always the oldest deliverable event. A *sequential*
+    baseline adversary — useful because it collapses all concurrency into
+    one canonical order."""
+
+    def bind(self, seed: int, n: int) -> None:  # stateless
+        return None
+
+    def choose(self, heads: Sequence[Head]) -> int:
+        return 0
+
+
+class LifoScheduler(SchedulerPolicy):
+    """Newest-first (age-biased): always the most recently sent
+    deliverable event. Maximally starves old messages — the mirror image
+    of FIFO and a classic trigger for "stale message meets fresh round
+    state" races."""
+
+    def bind(self, seed: int, n: int) -> None:  # stateless
+        return None
+
+    def choose(self, heads: Sequence[Head]) -> int:
+        return len(heads) - 1
+
+
+class RandomScheduler(SchedulerPolicy):
+    """Seeded uniform choice among deliverable events — the random-walk
+    schedule explorer. Different seeds are independent schedules."""
+
+    def __init__(self) -> None:
+        self._rng = substream(0, "scheduler:random")
+
+    def bind(self, seed: int, n: int) -> None:
+        self._rng = substream(seed, f"scheduler:random:{n}")
+
+    def choose(self, heads: Sequence[Head]) -> int:
+        return int(self._rng.integers(len(heads)))
+
+
+class StarveNodeScheduler(SchedulerPolicy):
+    """Targeted adversary: one seed-chosen victim node receives nothing
+    (messages *and* its wake-up) while any event for another node is
+    deliverable. The victim's inbound traffic arrives as late as the
+    admissible-order semantics allow — the "delay-one-node" adversary."""
+
+    def __init__(self) -> None:
+        self.victim = 0
+
+    def bind(self, seed: int, n: int) -> None:
+        self.victim = derive_seed(seed, "scheduler:starve") % max(n, 1)
+
+    def choose(self, heads: Sequence[Head]) -> int:
+        for i, (_seq, target, _sender) in enumerate(heads):
+            if target != self.victim:
+                return i
+        return 0  # only the victim's events remain: oldest first
+
+
+class PolicyQueue(EventQueue):
+    """Event queue whose delivery order is a policy's, not the clock's.
+
+    Structure enforces admissibility: DELIVER events live in one FIFO
+    deque per directed link (only the head of each deque is eligible),
+    START events are individually eligible. The policy sees the eligible
+    heads in ascending send order and picks one; virtual time advances by
+    one step per pop, so ``now`` stays monotone and the metrics layer
+    needs no special cases.
+
+    Scheduled times passed to :meth:`push_raw` are ignored for ordering
+    (and the in-the-past check is waived — times are labels here, not
+    priorities).
+    """
+
+    __slots__ = ("policy", "_starts", "_links", "_size")
+
+    def __init__(self, policy: SchedulerPolicy) -> None:
+        super().__init__()
+        self.policy = policy
+        self._starts: list[tuple] = []
+        self._links: dict[tuple[int, int], deque] = {}
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __bool__(self) -> bool:
+        return self._size > 0
+
+    def push_raw(
+        self,
+        time: float,
+        kind: EventKind,
+        target: int,
+        sender: int = -1,
+        payload: Any = None,
+        depth: int = 0,
+    ) -> int:
+        seq = self._seq
+        self._seq = seq + 1
+        entry = (time, seq, kind, target, sender, payload, depth)
+        if kind is EventKind.START:
+            self._starts.append(entry)
+        else:
+            self._links.setdefault((sender, target), deque()).append(entry)
+        self._size += 1
+        return seq
+
+    def push(self, time, kind, target, sender=-1, payload=None, depth=0) -> Event:
+        seq = self.push_raw(time, kind, target, sender, payload, depth)
+        return Event(time, seq, kind, target, sender, payload, depth)
+
+    def pop(self) -> Event:
+        return Event(*self.pop_raw())
+
+    def pop_raw(self) -> tuple[float, int, EventKind, int, int, Any, int]:
+        if not self._size:
+            raise SchedulingError("pop from empty event queue")
+        heads = self._starts + [dq[0] for dq in self._links.values()]
+        heads.sort(key=lambda e: e[1])
+        views = tuple((e[1], e[3], e[4]) for e in heads)
+        index = self.policy.choose(views)
+        if not isinstance(index, int) or not 0 <= index < len(heads):
+            raise SchedulingError(
+                f"scheduler {self.policy.name} chose {index!r} "
+                f"out of {len(heads)} deliverable events"
+            )
+        entry = heads[index]
+        if entry[2] is EventKind.START:
+            self._starts.remove(entry)
+        else:
+            link = (entry[4], entry[3])
+            dq = self._links[link]
+            dq.popleft()
+            if not dq:
+                del self._links[link]
+        self._size -= 1
+        self._now += 1.0
+        # virtual step time replaces the scheduled label time
+        return (self._now, entry[1], entry[2], entry[3], entry[4], entry[5], entry[6])
+
+    def peek_time(self) -> float:
+        if not self._size:
+            raise SchedulingError("peek on empty event queue")
+        return self._now + 1.0
+
+
+_SCHEDULER_FACTORIES: dict[str, type[SchedulerPolicy]] = {
+    "fifo": FifoScheduler,
+    "lifo": LifoScheduler,
+    "random": RandomScheduler,
+    "starve": StarveNodeScheduler,
+}
+
+#: The distinguished "no policy" name: normal time-based scheduling.
+NO_SCHEDULER = "none"
+
+
+def scheduler_names() -> tuple[str, ...]:
+    """Sorted names of every registered policy (``none`` included,
+    mirroring :func:`repro.sim.faults.fault_names`)."""
+    return tuple(sorted((NO_SCHEDULER, *_SCHEDULER_FACTORIES)))
+
+
+def scheduler_from_name(name: str) -> SchedulerPolicy | None:
+    """Factory used by the CLI / sweep specs (``"none"`` → ``None``)."""
+    if name == NO_SCHEDULER:
+        return None
+    try:
+        factory = _SCHEDULER_FACTORIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown scheduler policy {name!r}; choose from "
+            f"{sorted((NO_SCHEDULER, *_SCHEDULER_FACTORIES))}"
+        ) from None
+    return factory()
+
+
+def register_scheduler(
+    name: str, factory: type[SchedulerPolicy], *, replace: bool = False
+) -> None:
+    """Add a named policy to the registry (``replace=True`` to overwrite).
+
+    Policies must be deterministic in ``(n, seed)`` — the exploration
+    property suite enforces this for every registered name.
+    """
+    if not name or not name.replace("_", "").isalnum():
+        raise ValueError(f"bad scheduler name {name!r}")
+    if name == NO_SCHEDULER:
+        raise ValueError(f"{NO_SCHEDULER!r} is reserved for time-based scheduling")
+    if name in _SCHEDULER_FACTORIES and not replace:
+        raise ValueError(f"scheduler {name!r} already registered")
+    _SCHEDULER_FACTORIES[name] = factory

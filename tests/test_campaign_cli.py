@@ -21,6 +21,7 @@ built-in scenarios:
   lossy_links           9 cells  message-drop fault plans (5% / 25%) vs. the fault-free baseline
   paper_baseline       18 cells  the paper's regime: sparse G(n,p) + geometric graphs, unit delays
   scale_free            9 cells  hub-heavy preferential-attachment topologies
+  schedule_storm       24 cells  adversarial scheduler policies vs. time-based delivery
   wireless_geometric    9 cells  radio networks: geometric graphs under uniform random delays
 
 run with: python -m repro campaign <name> [--jobs N] [--cache DIR] [--out DIR]

@@ -209,10 +209,36 @@ class TestCacheSchemaVersioning:
 
         assert CACHE_SCHEMA_VERSION >= 3
 
+    def test_schema_version_is_bumped_for_the_scheduler_axis(self):
+        """v4: RunSpec/RunRecord gained the ``scheduler`` axis
+        (adversarial schedule policies, exploration PR) — a v3 entry has
+        no scheduler field and would alias the time-scheduled cell."""
+        from repro.analysis.cache import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION >= 4
+
     def test_fault_distinguishes_cache_keys(self):
         a = RunSpec(family="ring", n=8, seed=0, fault="none")
         b = RunSpec(family="ring", n=8, seed=0, fault="crash_one")
         assert cache_key(a) != cache_key(b)
+
+    def test_scheduler_distinguishes_cache_keys(self):
+        a = RunSpec(family="ring", n=8, seed=0, scheduler="none")
+        b = RunSpec(family="ring", n=8, seed=0, scheduler="lifo")
+        assert cache_key(a) != cache_key(b)
+
+    def test_salt_distinguishes_cache_keys_and_stores(self, tmp_path):
+        """A salted cache (the exploration probe's) must never serve or
+        poison the unsalted store for the same spec."""
+        spec = RunSpec(family="ring", n=8, seed=0)
+        assert cache_key(spec) != cache_key(spec, salt="exploration-probe:1")
+
+        record = run_single("ring", 8, seed=0)
+        plain = ResultCache(tmp_path)
+        salted = ResultCache(tmp_path, salt="exploration-probe:1")
+        salted.put(spec, record)
+        assert plain.get(spec) is None
+        assert salted.get(spec) == record
 
     def test_algorithm_distinguishes_cache_keys(self):
         a = RunSpec(family="ring", n=8, seed=0, algorithm="blin_butelle")
@@ -232,3 +258,9 @@ class TestCacheSchemaVersioning:
         del data["outcome"]
         loaded = RunRecord.from_json_dict(data)
         assert loaded.fault == "none" and loaded.ok
+
+    def test_legacy_record_without_scheduler_loads_with_default(self):
+        rec = run_single("gnp_sparse", 10, seed=0)
+        data = rec.to_json_dict()
+        del data["scheduler"]  # record saved before the scheduler axis
+        assert RunRecord.from_json_dict(data).scheduler == "none"
