@@ -1,14 +1,18 @@
-"""Campaign engine end-to-end: the ``paper_baseline`` + fault scenarios
-as one report artifact.
+"""Campaign engine end-to-end: the paper baseline + fault + adversarial
+schedule scenarios as one report artifact.
 
 Exercises the whole scenario stack (library -> cells -> executors ->
 aggregation -> markdown) the way CI's campaign smoke does, and persists
 the report under ``benchmarks/out/`` like every other bench table.
-Honors ``--jobs`` / ``--cache`` / ``--scale``.
+Honors ``--jobs`` / ``--cache`` / ``--scale``. The scenario list is the
+registry's ``campaign_tiny`` bench's
+(:data:`repro.perf.workloads.CAMPAIGN_SCENARIOS` — the bench runs it
+shrunk; this table runs it at full size).
 """
 
 from __future__ import annotations
 
+from repro.perf.workloads import CAMPAIGN_SCENARIOS
 from repro.scenarios import (
     CampaignSpec,
     builtin_campaign,
@@ -18,7 +22,7 @@ from repro.scenarios import (
 
 
 def test_campaign_report(emit, sweep_jobs, sweep_cache, scale):
-    campaign = builtin_campaign(["paper_baseline", "lossy_links", "crash_storm"])
+    campaign = builtin_campaign(list(CAMPAIGN_SCENARIOS))
     if scale > 1:
         campaign = CampaignSpec(
             name=campaign.name,
@@ -28,10 +32,11 @@ def test_campaign_report(emit, sweep_jobs, sweep_cache, scale):
     result = run_campaign(campaign, jobs=sweep_jobs, cache=sweep_cache)
     emit("campaign_report", render_markdown(result).rstrip())
 
-    # the fault-free scenario must complete everywhere; fault scenarios
+    # the fault-free scenarios must complete everywhere; fault scenarios
     # must stall somewhere (the reliability assumption is load-bearing)
     by_name = {r.spec.name: r for r in result.results}
     assert by_name["paper_baseline"].num_stalled == 0
+    assert by_name["schedule_storm"].num_stalled == 0
     assert by_name["lossy_links"].num_stalled > 0
     assert by_name["crash_storm"].num_stalled > 0
     # every fault-free cell inside the fault scenarios completed too

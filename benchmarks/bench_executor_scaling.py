@@ -6,9 +6,11 @@ amortize worker startup) is executed serially, at 2 and 4 jobs, and then
 twice through a fresh disk cache (cold + warm). Every configuration must
 produce the identical record list — the table reports wall-clock and
 speedup over serial. The events/sec figure is the end-to-end simulator
-throughput on the same workload as ``bench_micro_components``'s
-full-protocol case (pre-refactor reference on this workload: ~85k
-events/sec).
+throughput on the registry's ``full_protocol`` workload (pre-refactor
+reference: ~85k events/sec; ``repro bench`` tracks the trajectory).
+
+The sweep spec is the registry's ``executor_sweep`` bench
+(:data:`repro.perf.workloads.EXECUTOR_SPEC`).
 """
 
 from __future__ import annotations
@@ -16,65 +18,48 @@ from __future__ import annotations
 import os
 import time
 
-from repro.analysis import ResultCache, SweepSpec, Table, run_sweep
-from repro.graphs import gnp_connected
-from repro.mdst import run_mdst
-from repro.spanning import greedy_hub_tree
-
-SPEC = SweepSpec(
-    families=("gnp_sparse", "geometric"),
-    sizes=(24, 32, 40),
-    seeds=(0, 1, 2, 3),
-    initial_methods=("echo",),
-    modes=("concurrent",),
-    delays=("uniform",),
-)
+from repro.analysis import ResultCache, Table, run_sweep
+from repro.perf.timing import time_callable
+from repro.perf.workloads import EXECUTOR_SPEC, full_protocol_kernel
 
 
 def test_executor_scaling(emit, tmp_path_factory):
     rows: list[tuple[str, float, list]] = []
 
     start = time.perf_counter()
-    serial = run_sweep(SPEC)
+    serial = run_sweep(EXECUTOR_SPEC)
     t_serial = time.perf_counter() - start
     rows.append(("serial (jobs=1)", t_serial, serial))
 
     for jobs in (2, 4):
         start = time.perf_counter()
-        records = run_sweep(SPEC, jobs=jobs)
+        records = run_sweep(EXECUTOR_SPEC, jobs=jobs)
         rows.append((f"jobs={jobs}", time.perf_counter() - start, records))
 
     cache = ResultCache(tmp_path_factory.mktemp("sweep-cache"))
     start = time.perf_counter()
-    cold = run_sweep(SPEC, jobs=4, cache=cache)
+    cold = run_sweep(EXECUTOR_SPEC, jobs=4, cache=cache)
     rows.append(("jobs=4, cold cache", time.perf_counter() - start, cold))
     start = time.perf_counter()
-    warm = run_sweep(SPEC, cache=cache)
+    warm = run_sweep(EXECUTOR_SPEC, cache=cache)
     t_warm = time.perf_counter() - start
     rows.append(("warm cache", t_warm, warm))
 
     cpus = len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity") else os.cpu_count()
     table = Table(
         ["backend", "wall-clock [s]", "speedup vs serial"],
-        title=f"Executor scaling — {len(SPEC.cells())} cells on {cpus} CPU(s)",
+        title=f"Executor scaling — {len(EXECUTOR_SPEC.cells())} cells on {cpus} CPU(s)",
     )
     for label, elapsed, records in rows:
         assert records == serial, f"{label} diverged from serial records"
         table.add(label, round(elapsed, 3), f"{t_serial / max(elapsed, 1e-9):.1f}x")
-    assert cache.hits >= len(SPEC.cells())
+    assert cache.hits >= len(EXECUTOR_SPEC.cells())
 
     events_line = _events_per_second()
     emit("executor_scaling", table.render() + "\n" + events_line)
 
 
 def _events_per_second() -> str:
-    g = gnp_connected(64, 0.1, seed=4)
-    t0 = greedy_hub_tree(g)
-    run_mdst(g, t0)  # warm-up: JIT-free but primes allocator/caches
-    best = 0.0
-    for _ in range(3):
-        start = time.perf_counter()
-        result = run_mdst(g, t0)
-        elapsed = time.perf_counter() - start
-        best = max(best, result.report.events_processed / elapsed)
-    return f"simulator hot path: {best:,.0f} events/sec (n=64 full protocol)"
+    sample, works = time_callable(full_protocol_kernel(), repeats=3, warmup=1)
+    rate = works[0]["events"] / sample.best
+    return f"simulator hot path: {rate:,.0f} events/sec (n=64 full protocol)"

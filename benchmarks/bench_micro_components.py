@@ -2,28 +2,33 @@
 guides: measure before optimizing; these guard the constants).
 
 * event queue push/pop throughput (the simulator's inner loop);
+* PolicyQueue eligible-head selection (the adversarial-schedule loop);
 * graph generation (numpy-vectorized G(n, p));
 * GHS end-to-end (the heaviest startup construction);
 * one full MDegST round on a mid-size network.
+
+The kernels are the registry's micro benches
+(:mod:`repro.perf.workloads` — ``repro bench --suite smoke`` gates
+them); the pytest-benchmark wrappers remain for ``pytest benchmarks/``
+timing tables.
 """
 
 from repro.graphs import gnp_connected
 from repro.mdst import MDSTConfig, run_mdst
+from repro.perf.workloads import (
+    echo_wave_kernel,
+    event_queue_kernel,
+    ghs_startup_kernel,
+    gnp_generation_kernel,
+    policy_queue_kernel,
+)
 from repro.sim import EventKind, EventQueue
-from repro.spanning import build_spanning_tree, greedy_hub_tree
+from repro.spanning import greedy_hub_tree
 
 
 def test_micro_event_queue(benchmark):
     """Raw-tuple path: what Network's inner loop actually executes."""
-
-    def churn():
-        q = EventQueue()
-        for i in range(2000):
-            q.push_raw(float(i % 97), EventKind.START, target=i)
-        while q:
-            q.pop_raw()
-
-    benchmark(churn)
+    benchmark(event_queue_kernel())
 
 
 def test_micro_event_queue_object_api(benchmark):
@@ -39,16 +44,27 @@ def test_micro_event_queue_object_api(benchmark):
     benchmark(churn)
 
 
+def test_micro_policy_queue(benchmark):
+    """Eligible-head selection under a seeded random policy (guards the
+    incremental head-list bookkeeping)."""
+    benchmark(policy_queue_kernel())
+
+
 def test_micro_gnp_generation(benchmark):
-    benchmark(lambda: gnp_connected(128, 0.08, seed=1))
+    benchmark(gnp_generation_kernel())
+
+
+def test_micro_echo_wave(benchmark):
+    """Loop-dominated spanning wave — the hot-path canary."""
+    kernel = echo_wave_kernel()
+    work = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert work["events"] > 0
 
 
 def test_micro_ghs(benchmark):
-    g = gnp_connected(48, 0.15, seed=2)
-    result = benchmark.pedantic(
-        lambda: build_spanning_tree(g, method="ghs"), rounds=3, iterations=1
-    )
-    assert result.tree.is_spanning_tree_of(g)
+    kernel = ghs_startup_kernel()
+    work = benchmark.pedantic(kernel, rounds=3, iterations=1)
+    assert work["events"] > 0
 
 
 def test_micro_one_round(benchmark):

@@ -3,54 +3,24 @@
 Ground truth comes from the exact solver (n ≤ 14) and from the
 Hamiltonian-padded family (Δ* = 2 by construction) at larger sizes.
 The table reports paper-claim vs measured for every instance.
+
+The workload lives in :mod:`repro.perf.workloads` and is registered as
+the ``t1_degree_quality`` bench (``repro bench`` times the identical
+runs); this wrapper renders the paper-style table + shape assertion.
 """
 
-import pytest
-
 from repro.analysis import Table
-from repro.graphs import (
-    complete,
-    gnp_connected,
-    hamiltonian_padded,
-    make_family,
-    wheel,
-)
-from repro.mdst import run_mdst
-from repro.sequential import optimal_degree
-from repro.spanning import greedy_hub_tree
-
-EXACT_CASES = [
-    ("complete", complete(10)),
-    ("wheel", wheel(12)),
-    ("gnp", gnp_connected(12, 0.35, seed=1)),
-    ("gnp", gnp_connected(14, 0.3, seed=2)),
-    ("hamiltonian", hamiltonian_padded(12, 14, seed=3)),
-]
-
-HAM_SIZES = [24, 36, 48]
+from repro.perf.workloads import run_t1
 
 
 def test_t1_degree_quality(benchmark, emit):
+    rows = benchmark.pedantic(run_t1, rounds=1, iterations=1)
     table = Table(
         ["family", "n", "k initial", "k final", "Δ*", "claim ≤ Δ*+1", "holds"],
         title="T1 — degree quality vs ground truth (claim C1)",
     )
     rows_hold = []
-
-    def run_all():
-        results = []
-        for name, g in EXACT_CASES:
-            t0 = greedy_hub_tree(g)
-            res = run_mdst(g, t0, seed=0)
-            results.append((name, g, res, optimal_degree(g)))
-        for n in HAM_SIZES:
-            g = hamiltonian_padded(n, 2 * n, seed=n)
-            res = run_mdst(g, greedy_hub_tree(g), seed=0)
-            results.append((f"hamiltonian", g, res, 2))
-        return results
-
-    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
-    for name, g, res, opt in results:
+    for name, g, res, opt in rows:
         holds = res.final_degree <= opt + 1
         rows_hold.append(holds)
         table.add(

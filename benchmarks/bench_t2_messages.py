@@ -4,22 +4,19 @@ Sweep n over two random families, regress total messages against the
 predictor (k − k* + 1)·m, and report the fitted constant and R². The
 claim "reproduces" iff the relationship is linear (R² high) with a small
 constant — the paper's own per-round budget is 2m + 3(n−1) ≈ 2–5×m.
+
+The sweep spec is the registry's ``t2_messages`` bench
+(:data:`repro.perf.workloads.CLAIMS_SPEC`).
 """
 
-from repro.analysis import SweepSpec, Table, fit_claim, run_sweep
+from repro.analysis import Table, fit_claim, run_sweep
+from repro.perf.workloads import CLAIMS_SPEC
 
 
 def test_t2_message_complexity(benchmark, emit, sweep_jobs, sweep_cache):
-    spec = SweepSpec(
-        families=("gnp_sparse", "geometric"),
-        sizes=(16, 24, 32, 48, 64),
-        seeds=(0, 1, 2),
-        initial_methods=("echo",),
-        modes=("concurrent",),
-    )
     records = benchmark.pedantic(
         run_sweep,
-        args=(spec,),
+        args=(CLAIMS_SPEC,),
         kwargs={"jobs": sweep_jobs, "cache": sweep_cache},
         rounds=1,
         iterations=1,

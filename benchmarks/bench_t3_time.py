@@ -2,22 +2,20 @@
 
 Causal time = longest causal dependency chain with unit message delays —
 the paper's measure exactly. Regressed against (k − k* + 1)·n.
+
+Shares the registry's ``t3_time`` sweep spec
+(:data:`repro.perf.workloads.CLAIMS_SPEC` — the same records as T2, so
+a shared ``--cache`` pays for the runs once).
 """
 
-from repro.analysis import SweepSpec, Table, fit_claim, run_sweep
+from repro.analysis import Table, fit_claim, run_sweep
+from repro.perf.workloads import CLAIMS_SPEC
 
 
 def test_t3_time_complexity(benchmark, emit, sweep_jobs, sweep_cache):
-    spec = SweepSpec(
-        families=("gnp_sparse", "geometric"),
-        sizes=(16, 24, 32, 48, 64),
-        seeds=(0, 1, 2),
-        initial_methods=("echo",),
-        modes=("concurrent",),
-    )
     records = benchmark.pedantic(
         run_sweep,
-        args=(spec,),
+        args=(CLAIMS_SPEC,),
         kwargs={"jobs": sweep_jobs, "cache": sweep_cache},
         rounds=1,
         iterations=1,

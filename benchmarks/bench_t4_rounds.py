@@ -4,34 +4,18 @@ Concurrent mode (every max-degree node improves per round, §3.2.6) is
 compared with single-target mode on workloads engineered to have many
 simultaneous max-degree nodes. The paper's claim is the concurrent
 figure; single-target shows what serializing the improvements costs.
+
+Cases + runs live in :mod:`repro.perf.workloads` (the registry's
+``t4_rounds`` bench).
 """
 
 from repro.analysis import Table
-from repro.graphs import caterpillar_graph, complete, gnp_connected, wheel
-from repro.mdst import MDSTConfig, run_mdst
+from repro.perf.workloads import run_t4
 from repro.sequential import paper_round_count
-from repro.spanning import greedy_hub_tree
-
-CASES = [
-    ("complete-12", complete(12)),
-    ("wheel-14", wheel(14)),
-    ("caterpillar-6x3", caterpillar_graph(6, 3)),
-    ("caterpillar-8x4", caterpillar_graph(8, 4)),
-    ("gnp-32", gnp_connected(32, 0.18, seed=4)),
-]
 
 
 def test_t4_round_count(benchmark, emit):
-    def run_all():
-        rows = []
-        for name, g in CASES:
-            t0 = greedy_hub_tree(g)
-            conc = run_mdst(g, t0, config=MDSTConfig(mode="concurrent"), seed=0)
-            single = run_mdst(g, t0, config=MDSTConfig(mode="single"), seed=0)
-            rows.append((name, g, t0, conc, single))
-        return rows
-
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_t4, rounds=1, iterations=1)
     table = Table(
         ["instance", "k0", "k*", "claim k−k*+1", "rounds (concurrent)",
          "rounds (single)", "max cutters/round"],

@@ -6,27 +6,18 @@ is "not far from optimal". On K_n: m = n(n−1)/2, the protocol ends at
 k* = 2, so we compare measured messages against the n²/k* reference —
 the ratio should be a modest, slowly-growing factor (the paper never
 claims matching the bound, only closeness).
+
+Sizes + runs live in :mod:`repro.perf.workloads` (the registry's
+``t5_lower_bound`` bench).
 """
 
 from repro.analysis import Table, fit_proportional
-from repro.graphs import complete
-from repro.mdst import run_mdst
+from repro.perf.workloads import run_t5
 from repro.sequential import kmz_lower_bound
-from repro.spanning import greedy_hub_tree
-
-SIZES = [8, 12, 16, 24, 32]
 
 
 def test_t5_kmz_lower_bound(benchmark, emit):
-    def run_all():
-        out = []
-        for n in SIZES:
-            g = complete(n)
-            res = run_mdst(g, greedy_hub_tree(g), seed=0)
-            out.append((n, g, res))
-        return out
-
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_t5, rounds=1, iterations=1)
     table = Table(
         ["n", "m", "k0", "k*", "messages", "KMZ Ω(n²/k*)", "ratio"],
         title="T5 — messages vs the Korach–Moran–Zaks lower bound (C6)",

@@ -4,28 +4,18 @@ The total cost is O((k − k*)·m) where k is the *initial* tree's degree:
 "we can hope to change a bit the algorithm of ST construction in order
 to obtain a not so bad k". The table quantifies exactly that across
 every construction in the library.
+
+Methods + runs live in :mod:`repro.perf.workloads` (the registry's
+``t6_initial_tree`` bench).
 """
 
 from repro.analysis import Table
-from repro.graphs import gnp_connected
-from repro.mdst import run_mdst
-from repro.spanning import build_spanning_tree
-
-METHODS = ["echo", "dfs", "ghs", "bfs", "cdfs", "random", "greedy_hub"]
+from repro.perf.workloads import run_t6, t6_graph
 
 
 def test_t6_initial_tree_ablation(benchmark, emit):
-    g = gnp_connected(40, 0.15, seed=9)
-
-    def run_all():
-        rows = []
-        for method in METHODS:
-            startup = build_spanning_tree(g, method=method, seed=9)
-            res = run_mdst(g, startup.tree, seed=9)
-            rows.append((method, startup, res))
-        return rows
-
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    g = t6_graph()
+    rows = benchmark.pedantic(run_t6, rounds=1, iterations=1)
     table = Table(
         ["construction", "k0", "k*", "rounds", "protocol msgs", "startup msgs"],
         title=f"T6 — initial-tree ablation on G(n={g.n}, m={g.m})",

@@ -4,21 +4,25 @@ numbers/identities, i.e. O(log n) bits).
 Audited live on real runs: the metrics layer records the maximum number
 of identity-sized fields over every message sent, and total bit volume
 under ceil(log2 n)-bit identity encoding.
+
+The sweep spec is the registry's ``t7_message_size`` bench
+(:data:`repro.perf.workloads.T7_SPEC`).
 """
 
 import math
 
-from repro.analysis import Table, run_single
+from repro.analysis import Table, run_sweep
+from repro.perf.workloads import T7_SPEC
 
 
-def test_t7_message_size(benchmark, emit):
-    def run_all():
-        recs = []
-        for n in (16, 32, 64, 96):
-            recs.append(run_single("gnp_sparse", n, seed=0))
-        return recs
-
-    records = benchmark.pedantic(run_all, rounds=1, iterations=1)
+def test_t7_message_size(benchmark, emit, sweep_jobs, sweep_cache):
+    records = benchmark.pedantic(
+        run_sweep,
+        args=(T7_SPEC,),
+        kwargs={"jobs": sweep_jobs, "cache": sweep_cache},
+        rounds=1,
+        iterations=1,
+    )
     table = Table(
         ["n", "messages", "max id-fields/msg", "claim ≤ 4", "bits/msg",
          "4·log2(n)+5"],

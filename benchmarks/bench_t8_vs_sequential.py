@@ -10,42 +10,17 @@ The measured gap between the first two and F-R is a *finding* of this
 reproduction: the published rule stops at the same quality as its
 sequential twin, and both occasionally sit one level above F-R
 (DESIGN.md §4.5).
+
+Cases + runs live in :mod:`repro.perf.workloads` (the registry's
+``t8_vs_sequential`` bench).
 """
 
 from repro.analysis import Table
-from repro.graphs import (
-    caterpillar_graph,
-    complete,
-    gnp_connected,
-    random_geometric,
-    wheel,
-)
-from repro.mdst import run_mdst
-from repro.sequential import fuerer_raghavachari, local_search_mdst
-from repro.spanning import greedy_hub_tree
-
-CASES = [
-    ("complete-12", complete(12)),
-    ("wheel-12", wheel(12)),
-    ("caterpillar", caterpillar_graph(6, 3)),
-    ("gnp-28", gnp_connected(28, 0.2, seed=5)),
-    ("gnp-36", gnp_connected(36, 0.15, seed=6)),
-    ("geo-30", random_geometric(30, 0.35, seed=7)),
-]
+from repro.perf.workloads import run_t8
 
 
 def test_t8_vs_sequential(benchmark, emit):
-    def run_all():
-        rows = []
-        for name, g in CASES:
-            t0 = greedy_hub_tree(g)
-            dist = run_mdst(g, t0, seed=0)
-            simple, _swaps = local_search_mdst(g, t0)
-            fr, _stats = fuerer_raghavachari(g, t0)
-            rows.append((name, t0, dist, simple, fr))
-        return rows
-
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_t8, rounds=1, iterations=1)
     table = Table(
         ["instance", "k0", "distributed", "local search", "Fürer–Raghavachari",
          "dist − FR"],

@@ -5,36 +5,17 @@ concurrency mode (§3.2.6 concurrent vs one-target-per-round) and the
 polish phase (recovering cross-region exchanges after the same-cutter
 restriction). This bench quantifies both axes on the same instances —
 the ablation table DESIGN.md §4.6 promises.
+
+Cases + configs live in :mod:`repro.perf.workloads` (the registry's
+``t9_ablation`` bench).
 """
 
 from repro.analysis import Table
-from repro.graphs import caterpillar_graph, gnp_connected, random_geometric
-from repro.mdst import MDSTConfig, run_mdst
-from repro.spanning import greedy_hub_tree
-
-CASES = [
-    ("caterpillar-8x4", caterpillar_graph(8, 4)),
-    ("gnp-36", gnp_connected(36, 0.15, seed=2)),
-    ("geo-32", random_geometric(32, 0.34, seed=3)),
-]
-
-CONFIGS = [
-    ("concurrent+polish", MDSTConfig(mode="concurrent", polish=True)),
-    ("concurrent, no polish", MDSTConfig(mode="concurrent", polish=False)),
-    ("single-target", MDSTConfig(mode="single")),
-]
+from repro.perf.workloads import run_t9
 
 
 def test_t9_design_ablation(benchmark, emit):
-    def run_all():
-        out = []
-        for name, g in CASES:
-            t0 = greedy_hub_tree(g)
-            for label, cfg in CONFIGS:
-                out.append((name, label, run_mdst(g, t0, config=cfg, seed=0)))
-        return out
-
-    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = benchmark.pedantic(run_t9, rounds=1, iterations=1)
     table = Table(
         ["instance", "config", "k0", "k*", "rounds", "messages", "causal time"],
         title="T9 — design ablation: concurrency mode × polish phase",

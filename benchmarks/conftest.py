@@ -4,6 +4,12 @@ Every bench regenerates one experiment of DESIGN.md §3 and *emits* its
 paper-style table: printed (visible with ``-s``) and written under
 ``benchmarks/out/`` so the rows survive pytest's capture either way.
 
+The workload definitions (case lists, sweep specs, micro-kernels) are
+shared with the :mod:`repro.perf` registry — ``repro bench`` times the
+identical runs and gates them against the committed ``BENCH_*.json``
+trajectory; these pytest wrappers add the paper-style tables and shape
+assertions on top.
+
 Sweep-heavy benches honor two execution knobs:
 
 ``--jobs N``

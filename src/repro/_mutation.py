@@ -42,6 +42,13 @@ KNOWN_MUTATIONS: dict[str, str] = {
         "MDegST cutter chooses while its own CousinReply is still in "
         "flight (the PR 1 cross-reply race)"
     ),
+    "slow_event_loop": (
+        "simulator event loop reverts to the seed-era shape: one Event "
+        "object materialized per pop and per-message bit sizes "
+        "recomputed on every delivery instead of the PR 1 raw-tuple "
+        "fast path (metrics stay byte-identical; only wall-clock "
+        "regresses — the perf gate's regression-sensitivity self-test)"
+    ),
 }
 
 def _parse_env(value: str) -> set[str]:

@@ -38,7 +38,10 @@ __all__ = ["ResultCache", "CACHE_SCHEMA_VERSION", "cache_key"]
 #: v4: records/specs gained the ``scheduler`` axis (adversarial schedule
 #: policies, exploration PR) — a v3 entry has no scheduler field, so a
 #: policy-scheduled run would alias the time-scheduled cell.
-CACHE_SCHEMA_VERSION = 4
+#: v5: records gained the ``events`` work metric (perf-trajectory PR) —
+#: a v4 entry would deserialize with events=0 and silently zero the
+#: benchmark gate's primary work metric.
+CACHE_SCHEMA_VERSION = 5
 
 
 def cache_key(spec: "RunSpec", *, salt: str = "") -> str:

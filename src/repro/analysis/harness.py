@@ -208,6 +208,7 @@ def run_single(
         bits=result.report.total_bits,
         max_msg_fields=result.report.max_id_fields,
         startup_messages=startup_messages,
+        events=result.report.events_processed,
         max_rounds=max_rounds,
         fault=fault,
         scheduler=scheduler,

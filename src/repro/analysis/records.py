@@ -36,6 +36,10 @@ class RunRecord:
     bits: int
     max_msg_fields: int
     startup_messages: int = 0
+    #: simulator events processed by the protocol run (the perf suite's
+    #: primary work metric; 0 on stalled/error records and on records
+    #: saved before the metric existed)
+    events: int = 0
     max_rounds: int | None = None
     #: which registered algorithm produced the run (records saved before
     #: the registry existed load as the Blin–Butelle default)

@@ -7,9 +7,10 @@ Subcommands
 ``compare``   head-to-head of registered algorithms on one instance
 ``campaign``  run a named / file-based scenario campaign into a report
 ``explore``   adversarial schedule exploration + counterexample shrinking
+``bench``     run a benchmark suite; record, compare and gate baselines
 ``exact``     ground-truth Δ* for a small instance
 ``families``  list workload families, delays, algorithms, faults,
-              scheduler policies, scenarios
+              scheduler policies, scenarios, bench suites
 ``certify``   run + certification against the paper's claims
 """
 
@@ -45,6 +46,13 @@ _FAMILY_CHOICES = tuple(sorted(FAMILIES))
 
 
 def build_parser() -> argparse.ArgumentParser:
+    # the perf package registers its bench library at import; pulled in
+    # here (not at module top) so plain `repro run`-style invocations
+    # never pay for it — the rest of the perf stack stays behind the
+    # lazy import in _bench
+    from .perf.compare import TIME_TOLERANCE
+    from .perf.spec import SUITES
+
     parser = argparse.ArgumentParser(
         prog="repro-mdst",
         description=(
@@ -242,6 +250,90 @@ def build_parser() -> argparse.ArgumentParser:
         help="write report.md + report.json under DIR",
     )
 
+    bench_p = sub.add_parser(
+        "bench",
+        help=(
+            "run a benchmark suite; record BENCH_*.json trajectory "
+            "points, compare against a baseline and gate regressions"
+        ),
+    )
+    bench_p.add_argument(
+        "--list", action="store_true", help="list suites and benches, then exit"
+    )
+    bench_p.add_argument(
+        "--suite",
+        default="smoke",
+        choices=list(SUITES),
+        help="bench suite to run (validated eagerly, like every axis)",
+    )
+    bench_p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help=(
+            "worker processes for the sweep work pass (the work section "
+            "is identical for any value; timing is always in-process)"
+        ),
+    )
+    bench_p.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="result-cache directory for the sweep work pass",
+    )
+    bench_p.add_argument(
+        "--out",
+        default=None,
+        metavar="PATH",
+        help="write the fresh baseline as JSON (e.g. BENCH_0005.json)",
+    )
+    bench_p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE",
+        help=(
+            "baseline JSON to compare the fresh run against (default "
+            "with --gate: the newest BENCH_*.json in the cwd)"
+        ),
+    )
+    bench_p.add_argument(
+        "--gate",
+        action="store_true",
+        help="exit non-zero if the comparison has regression verdicts",
+    )
+    bench_p.add_argument(
+        "--gate-time",
+        choices=("auto", "on", "off"),
+        default="auto",
+        help=(
+            "gate time metrics: auto = only when the machine "
+            "fingerprints match (work metrics are always gated exactly)"
+        ),
+    )
+    bench_p.add_argument(
+        "--tolerance",
+        type=float,
+        default=TIME_TOLERANCE,
+        help="relative time-regression tolerance (default %(default)s)",
+    )
+    bench_p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="override every bench's timing repeats (min-of-k)",
+    )
+    bench_p.add_argument(
+        "--warmup",
+        type=int,
+        default=None,
+        help="override every bench's warm-up iterations",
+    )
+    bench_p.add_argument(
+        "--note",
+        default="",
+        help="free-form note stored in the baseline document",
+    )
+
     exp = sub.add_parser(
         "explore",
         help=(
@@ -402,6 +494,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "families":
+        from .perf.spec import SUITES
         from .scenarios.library import SCENARIOS
 
         sections = [
@@ -411,6 +504,7 @@ def main(argv: list[str] | None = None) -> int:
             ("fault plans", list(fault_names())),
             ("scheduler policies", list(scheduler_names())),
             ("scenarios", sorted(SCENARIOS)),
+            ("bench suites", list(SUITES)),
         ]
         for i, (title, names) in enumerate(sections):
             if i:
@@ -545,6 +639,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "campaign":
         return _campaign(args)
 
+    if args.command == "bench":
+        return _bench(args)
+
     if args.command == "explore":
         return _explore(args)
 
@@ -610,6 +707,137 @@ def _campaign(args: argparse.Namespace) -> int:
             f"[{args.cache}]",
             file=sys.stderr,
         )
+    return 0
+
+
+def _bench(args: argparse.Namespace) -> int:
+    import hashlib
+
+    from .perf import (
+        SUITE_DESCRIPTIONS,
+        SUITES,
+        compare_baselines,
+        latest_baseline_path,
+        load_baseline,
+        run_suite,
+        save_baseline,
+        suite_benches,
+        work_bytes,
+    )
+
+    if args.list:
+        benches = suite_benches("full")
+        width = max(len(b.name) for b in benches)
+        print("bench suites:")
+        print()
+        for suite in SUITES:
+            members = suite_benches(suite)
+            print(
+                f"  {suite.ljust(5)}  {len(members):>2} benches  "
+                f"{SUITE_DESCRIPTIONS[suite]}"
+            )
+        print()
+        print("benches (suites in brackets):")
+        print()
+        for bench in benches:
+            tags = ",".join(s for s in SUITES[:-1] if bench.in_suite(s)) or "full"
+            print(
+                f"  {bench.name.ljust(width)}  {bench.kind:5}  "
+                f"[{tags}]  {bench.description}"
+            )
+        print()
+        print(
+            "run with: python -m repro bench --suite smoke "
+            "[--out PATH] [--compare BASELINE --gate]"
+        )
+        return 0
+
+    # resolve gate inputs BEFORE the (potentially long) suite run: a bad
+    # tolerance or a missing baseline must fail fast, and the default
+    # "newest BENCH_*.json in the cwd" must never resolve to the file
+    # --out is about to write (that would gate the run against itself)
+    if args.tolerance < 0:
+        print(
+            f"bench: tolerance must be >= 0, got {args.tolerance}",
+            file=sys.stderr,
+        )
+        return 2
+    compare_path = args.compare
+    if compare_path is None and args.gate:
+        latest = latest_baseline_path(".")
+        if latest is None:
+            print(
+                "bench: --gate needs a baseline; none given via --compare "
+                "and no BENCH_*.json found in the cwd",
+                file=sys.stderr,
+            )
+            return 2
+        compare_path = str(latest)
+
+    try:
+        fresh = run_suite(
+            args.suite,
+            jobs=args.jobs,
+            cache=ResultCache(args.cache) if args.cache else None,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            notes=args.note,
+        )
+    except AnalysisError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+
+    table = Table(
+        ["bench", "kind", "best [ms]", "median [ms]", "events/s", "work"],
+        title=f"bench suite '{args.suite}' — {len(fresh.results)} benches",
+    )
+    for r in fresh.results:
+        rate = r.derived.get("events_per_sec") or r.derived.get("ops_per_sec")
+        headline = (
+            f"events={r.work['events']}"
+            if "events" in r.work
+            else f"ops={r.work.get('ops', '-')}"
+        )
+        table.add(
+            r.name,
+            r.kind,
+            round(r.timing["best"] * 1000, 2),
+            round(r.timing["median"] * 1000, 2),
+            f"{rate:,.0f}" if rate else "—",
+            headline,
+        )
+    print(table.render())
+    digest = hashlib.sha256(work_bytes(fresh)).hexdigest()
+    print(f"work fingerprint: {digest[:16]} (exact-gated section)")
+
+    if args.out:
+        path = save_baseline(fresh, args.out)
+        print(f"baseline: {path}", file=sys.stderr)
+
+    if compare_path is None:
+        return 0
+
+    try:
+        baseline = load_baseline(compare_path)
+    except AnalysisError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    if baseline.suite != fresh.suite:
+        print(
+            f"bench: baseline {compare_path} records suite "
+            f"{baseline.suite!r}, not {fresh.suite!r}",
+            file=sys.stderr,
+        )
+        return 2
+    gate_time = {"auto": None, "on": True, "off": False}[args.gate_time]
+    comparison = compare_baselines(
+        baseline, fresh, tolerance=args.tolerance, gate_time=gate_time
+    )
+    print()
+    print(f"baseline: {compare_path} (rev {baseline.git_rev})")
+    print(comparison.render())
+    if args.gate and not comparison.ok:
+        return 1
     return 0
 
 

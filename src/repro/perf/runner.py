@@ -1,0 +1,180 @@
+"""Suite runner: one executor batch for work, min-of-k for time.
+
+A suite run has two phases:
+
+1. **work pass** — every sweep bench's cells are flattened into ONE
+   deduplicated batch (the campaign runner's trick) and dispatched
+   through the Serial/Parallel/Caching executor stack, then fanned back
+   per bench and aggregated into exact integer work metrics. ``--jobs``
+   and ``--cache`` accelerate this phase only; any backend produces the
+   identical work section.
+2. **timing pass** — each bench is measured in-process with warm-up +
+   min-of-k (:mod:`repro.perf.timing`): sweep benches re-run their cells
+   serially (caches must never serve a *timing* number), micro benches
+   run their kernel closure. The timing pass re-derives each sweep
+   bench's work metrics and the runner insists they equal the executor
+   phase's — a free serial-vs-backend determinism check on every run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Sequence
+
+from ..analysis.cache import ResultCache
+from ..analysis.executor import Executor, RunSpec, execute_cell, make_executor
+from ..analysis.records import RunRecord
+from ..errors import AnalysisError
+from ..rng import derive_seed
+from .baseline import (
+    Baseline,
+    BenchResult,
+    git_revision,
+    machine_fingerprint,
+)
+from .spec import BenchSpec, suite_benches
+from .stats import bootstrap_ci
+from .timing import TimingSample, time_callable
+
+__all__ = ["run_suite", "aggregate_work"]
+
+
+def aggregate_work(records: Sequence[RunRecord]) -> dict[str, int]:
+    """Exact integer aggregates of a record batch (the work section)."""
+    return {
+        "cells": len(records),
+        "events": sum(r.events for r in records),
+        "messages": sum(r.messages for r in records),
+        "rounds": sum(r.rounds for r in records),
+        "bits": sum(r.bits for r in records),
+        "causal_time": sum(r.causal_time for r in records),
+        "k_final_total": sum(r.k_final for r in records),
+        "stalled": sum(1 for r in records if not r.ok),
+    }
+
+
+def _timing_payload(sample: TimingSample, *, ci_seed: int) -> dict[str, Any]:
+    lo, hi = bootstrap_ci(sample.seconds, seed=ci_seed)
+    return {
+        "warmup": sample.warmup,
+        "repeats": sample.repeats,
+        "seconds": list(sample.seconds),
+        "best": sample.best,
+        "median": sample.median,
+        "iqr": sample.iqr,
+        "ci90": [lo, hi],
+    }
+
+
+def _derived(work: dict[str, int], best: float) -> dict[str, float]:
+    out: dict[str, float] = {}
+    if best > 0:
+        for metric, rate in (
+            ("events", "events_per_sec"),
+            ("messages", "messages_per_sec"),
+            ("ops", "ops_per_sec"),
+        ):
+            if work.get(metric, 0) > 0:
+                out[rate] = work[metric] / best
+    return out
+
+
+def _measure(
+    bench: BenchSpec,
+    fn: Callable[[], dict[str, int]],
+    *,
+    repeats: int | None,
+    warmup: int | None,
+) -> tuple[dict[str, Any], list[dict[str, int]]]:
+    sample, works = time_callable(
+        fn,
+        repeats=repeats if repeats is not None else bench.repeats,
+        warmup=warmup if warmup is not None else bench.warmup,
+    )
+    first = works[0]
+    for other in works[1:]:
+        if other != first:
+            raise AnalysisError(
+                f"bench {bench.name!r} is not work-deterministic: "
+                f"{first!r} != {other!r} across repeats"
+            )
+    ci_seed = derive_seed(0, f"perf:{bench.name}")
+    return _timing_payload(sample, ci_seed=ci_seed), works
+
+
+def run_suite(
+    suite: str,
+    *,
+    executor: Executor | None = None,
+    jobs: int = 1,
+    cache: ResultCache | str | Path | None = None,
+    repeats: int | None = None,
+    warmup: int | None = None,
+    notes: str = "",
+) -> Baseline:
+    """Run every bench of *suite* into a fresh :class:`Baseline`.
+
+    *repeats* / *warmup* override each spec's defaults (quick local
+    iterations, CI smoke). *executor* overrides *jobs* / *cache* for the
+    work pass; the timing pass is always serial and in-process.
+    """
+    benches = suite_benches(suite)
+    if not benches:
+        raise AnalysisError(f"suite {suite!r} has no registered benches")
+    if executor is None:
+        executor = make_executor(jobs=jobs, cache=cache)
+
+    # -- work pass: one deduplicated batch across every sweep bench ----
+    per_bench_cells: dict[str, tuple[RunSpec, ...]] = {
+        bench.name: bench.cells() for bench in benches if bench.kind == "sweep"
+    }
+    index: dict[RunSpec, int] = {}
+    for cells in per_bench_cells.values():
+        for cell in cells:
+            index.setdefault(cell, len(index))
+    unique_records = executor.run(list(index)) if index else []
+    executor_work = {
+        name: aggregate_work([unique_records[index[cell]] for cell in cells])
+        for name, cells in per_bench_cells.items()
+    }
+
+    # -- timing pass: warm-up + min-of-k, serial, in-process -----------
+    results = []
+    for bench in benches:
+        if bench.kind == "sweep":
+            cells = per_bench_cells[bench.name]
+
+            def run_cells(_cells: tuple[RunSpec, ...] = cells) -> dict[str, int]:
+                return aggregate_work([execute_cell(c) for c in _cells])
+
+            timing, works = _measure(
+                bench, run_cells, repeats=repeats, warmup=warmup
+            )
+            work = executor_work[bench.name]
+            if works[0] != work:
+                raise AnalysisError(
+                    f"bench {bench.name!r} diverged between the executor "
+                    f"work pass and the serial timing pass: {work!r} != "
+                    f"{works[0]!r} — lost determinism (or a poisoned cache)"
+                )
+        else:
+            timing, works = _measure(
+                bench, bench.micro(), repeats=repeats, warmup=warmup
+            )
+            work = works[0]
+        results.append(
+            BenchResult(
+                name=bench.name,
+                kind=bench.kind,
+                work=work,
+                timing=timing,
+                derived=_derived(work, timing["best"]),
+            )
+        )
+    return Baseline(
+        suite=suite,
+        results=tuple(results),
+        machine=machine_fingerprint(),
+        git_rev=git_revision(),
+        notes=notes,
+    )

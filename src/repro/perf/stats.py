@@ -1,0 +1,75 @@
+"""Robust summary statistics for timing samples.
+
+Timing distributions are small-sample and right-skewed (interference
+adds one-sided noise), so the summaries here are order statistics —
+median and interquartile range — plus a **seeded** bootstrap confidence
+interval for the median: resampling with a fixed
+:class:`random.Random` stream makes every CI bit-reproducible, which
+the determinism tests pin. No scipy; the quantile rule is the common
+linear-interpolation one (numpy's default).
+"""
+
+from __future__ import annotations
+
+from random import Random
+from typing import Sequence
+
+from ..errors import AnalysisError
+
+__all__ = ["median", "iqr", "quantile", "bootstrap_ci"]
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation quantile of *values* (0 <= q <= 1)."""
+    if not values:
+        raise AnalysisError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise AnalysisError(f"quantile level must be in [0, 1], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    pos = q * (len(ordered) - 1)
+    lo = int(pos)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = pos - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+def median(values: Sequence[float]) -> float:
+    return quantile(values, 0.5)
+
+
+def iqr(values: Sequence[float]) -> float:
+    """Interquartile range — the spread summary next to the median."""
+    return quantile(values, 0.75) - quantile(values, 0.25)
+
+
+def bootstrap_ci(
+    values: Sequence[float],
+    *,
+    seed: int = 0,
+    resamples: int = 200,
+    confidence: float = 0.90,
+) -> tuple[float, float]:
+    """Percentile-bootstrap CI for the median of *values*.
+
+    Deterministic in ``(values, seed, resamples, confidence)`` — the
+    resampling stream is a fresh ``Random(seed)``. With a single
+    observation the interval degenerates to that point.
+    """
+    if not values:
+        raise AnalysisError("bootstrap of an empty sequence")
+    if resamples < 1:
+        raise AnalysisError(f"resamples must be >= 1, got {resamples}")
+    if not 0.0 < confidence < 1.0:
+        raise AnalysisError(f"confidence must be in (0, 1), got {confidence}")
+    if len(values) == 1:
+        return (float(values[0]), float(values[0]))
+    rng = Random(seed)
+    n = len(values)
+    medians = []
+    for _ in range(resamples):
+        sample = [values[rng.randrange(n)] for _ in range(n)]
+        medians.append(median(sample))
+    alpha = (1.0 - confidence) / 2.0
+    return (quantile(medians, alpha), quantile(medians, 1.0 - alpha))

@@ -37,10 +37,11 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 from heapq import heappop
 
+from .._mutation import mutation_active
 from ..errors import SimulationError, TerminationError
 from ..graphs.graph import Graph
 from .delays import DelayModel, UnitDelay
-from .events import EventKind, EventQueue
+from .events import Event, EventKind, EventQueue
 from .messages import Message
 from .metrics import MessageStats, SimulationReport
 from .node import NodeContext, Process
@@ -201,7 +202,11 @@ class Network:
         protocols in this library terminate by process, so hitting the cap
         is always a bug.
         """
-        if self.trace is None and not self.monitors and self.scheduler is None:
+        if mutation_active("slow_event_loop"):
+            # known-bug switch: the perf gate must notice a hot-path
+            # regression, so this re-opens the seed-era loop shape
+            processed = self._run_mutated_slow(max_events)
+        elif self.trace is None and not self.monitors and self.scheduler is None:
             processed = self._run_fast(max_events)
         else:
             # the general loop pops via the queue, so a PolicyQueue's
@@ -242,6 +247,61 @@ class Network:
                 if time > stats.max_sim_time:
                     stats.max_sim_time = time
                 proc.on_message(sender, payload)
+        return processed
+
+    def _run_mutated_slow(self, max_events: int) -> int:
+        """``slow_event_loop`` mutation: the pre-PR 1 loop, resurrected.
+
+        Undoes the hot-path overhaul without touching semantics — one
+        :class:`Event` object is materialized per pop, clock/stat updates
+        go through method calls, and every delivery recomputes the
+        message's identity-field count and bit size from scratch (the
+        accounting :class:`~repro.sim.metrics.MessageStats` memoizes).
+        All metrics stay byte-identical to the fast path; only wall-clock
+        time regresses. Exists solely so the perf suite can prove its
+        time gate is regression-sensitive (mirroring how
+        ``skip_cutter_gate`` proves the exploration oracle works).
+        """
+        from .messages import message_bits
+
+        queue = self.queue
+        trace = self.trace
+        monitors = self.monitors
+        monitor_interval = self.monitor_interval
+        n = self.graph.n
+        processed = 0
+        while queue:
+            event = Event(*queue.pop_raw())
+            processed += 1
+            if processed > max_events:
+                raise TerminationError(
+                    f"event budget {max_events} exhausted; protocol livelock?"
+                )
+            proc = self.processes[event.target]
+            if event.kind is _START:
+                if trace is not None:
+                    trace.emit(TraceRecord(event.time, "start", -1, event.target, None))
+                proc.on_start()
+            else:
+                self._in_flight -= 1
+                if event.depth > self._clocks[event.target]:
+                    self._clocks[event.target] = event.depth
+                self.stats.record_delivery(event.depth, event.time)
+                # seed-era bit accounting: recomputed per delivery (and
+                # discarded — record_send already charged the memoized
+                # cost, so totals are unchanged)
+                message_bits(event.payload, n)
+                if trace is not None:
+                    trace.emit(
+                        TraceRecord(
+                            event.time, "deliver", event.sender, event.target,
+                            event.payload,
+                        )
+                    )
+                proc.on_message(event.sender, event.payload)
+            if monitors and processed % monitor_interval == 0:
+                for monitor in monitors:
+                    monitor(self)  # type: ignore[operator]
         return processed
 
     def _run_general(self, max_events: int) -> int:

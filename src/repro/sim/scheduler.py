@@ -29,8 +29,10 @@ exact same schedule.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from bisect import insort
 from collections import deque
 from collections.abc import Sequence
+from operator import itemgetter
 from typing import Any
 
 from ..errors import SchedulingError
@@ -149,15 +151,29 @@ class PolicyQueue(EventQueue):
     Scheduled times passed to :meth:`push_raw` are ignored for ordering
     (and the in-the-past check is waived — times are labels here, not
     priorities).
+
+    The eligible-head list is maintained *incrementally* (the perf
+    suite's ``policy_queue_ops`` micro-kernel guards this): the global
+    ``seq`` counter only grows, so a newly-eligible head (a START push or
+    the first message on an idle link) always appends at the tail of the
+    seq-sorted list, and only a link's *successor* head — exposed when
+    its predecessor is delivered — needs a ``bisect`` insert. The
+    pre-optimization shape (rebuild + sort every pop) was O(L log L) per
+    step for L concurrent links.
     """
 
-    __slots__ = ("policy", "_starts", "_links", "_size")
+    __slots__ = ("policy", "_links", "_heads", "_size")
+
+    #: sort key of a head entry: the global send sequence number
+    _HEAD_SEQ = staticmethod(itemgetter(1))
 
     def __init__(self, policy: SchedulerPolicy) -> None:
         super().__init__()
         self.policy = policy
-        self._starts: list[tuple] = []
+        #: per-directed-link FIFO queues; a present link is never empty
         self._links: dict[tuple[int, int], deque] = {}
+        #: eligible heads (one per link + pending STARTs), ascending seq
+        self._heads: list[tuple] = []
         self._size = 0
 
     def __len__(self) -> int:
@@ -179,9 +195,14 @@ class PolicyQueue(EventQueue):
         self._seq = seq + 1
         entry = (time, seq, kind, target, sender, payload, depth)
         if kind is EventKind.START:
-            self._starts.append(entry)
+            self._heads.append(entry)
         else:
-            self._links.setdefault((sender, target), deque()).append(entry)
+            dq = self._links.get((sender, target))
+            if dq is None:
+                self._links[(sender, target)] = deque((entry,))
+                self._heads.append(entry)
+            else:
+                dq.append(entry)
         self._size += 1
         return seq
 
@@ -195,8 +216,7 @@ class PolicyQueue(EventQueue):
     def pop_raw(self) -> tuple[float, int, EventKind, int, int, Any, int]:
         if not self._size:
             raise SchedulingError("pop from empty event queue")
-        heads = self._starts + [dq[0] for dq in self._links.values()]
-        heads.sort(key=lambda e: e[1])
+        heads = self._heads
         views = tuple((e[1], e[3], e[4]) for e in heads)
         index = self.policy.choose(views)
         if not isinstance(index, int) or not 0 <= index < len(heads):
@@ -204,14 +224,17 @@ class PolicyQueue(EventQueue):
                 f"scheduler {self.policy.name} chose {index!r} "
                 f"out of {len(heads)} deliverable events"
             )
-        entry = heads[index]
-        if entry[2] is EventKind.START:
-            self._starts.remove(entry)
-        else:
+        entry = heads.pop(index)
+        if entry[2] is not EventKind.START:
             link = (entry[4], entry[3])
             dq = self._links[link]
             dq.popleft()
-            if not dq:
+            if dq:
+                # the successor head's seq is larger than the popped
+                # entry's but otherwise arbitrary among the remaining
+                # heads — the one place an ordered insert is needed
+                insort(heads, dq[0], key=self._HEAD_SEQ)
+            else:
                 del self._links[link]
         self._size -= 1
         self._now += 1.0

@@ -105,11 +105,12 @@ class TestFamiliesListing:
         out = capsys.readouterr().out
         for section in (
             "graph families:", "delay models:", "algorithms:",
-            "fault plans:", "scenarios:",
+            "fault plans:", "scenarios:", "bench suites:",
         ):
             assert section in out
         for name in (
             "complete", "unit", "blin_butelle", "crash_storm", "paper_baseline",
+            "smoke",
         ):
             assert f"  {name}\n" in out
 

@@ -217,6 +217,19 @@ class TestCacheSchemaVersioning:
 
         assert CACHE_SCHEMA_VERSION >= 4
 
+    def test_schema_version_is_bumped_for_the_events_metric(self):
+        """v5: RunRecord gained the ``events`` work metric (perf
+        trajectory PR) — a v4 entry deserializes with events=0 and would
+        silently zero the benchmark gate's primary work metric."""
+        from repro.analysis.cache import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION >= 5
+
+    def test_records_carry_the_events_work_metric(self):
+        record = run_single("ring", 8, seed=0)
+        assert record.events > 0
+        assert record.events >= record.messages  # every delivery is an event
+
     def test_fault_distinguishes_cache_keys(self):
         a = RunSpec(family="ring", n=8, seed=0, fault="none")
         b = RunSpec(family="ring", n=8, seed=0, fault="crash_one")
