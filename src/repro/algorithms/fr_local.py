@@ -49,7 +49,7 @@ from ..errors import NotConnectedError, ProtocolError, ReproError
 from ..graphs.graph import Graph
 from ..graphs.traversal import is_connected
 from ..graphs.trees import RootedTree
-from ..mdst.algorithm import extract_final_tree, rounds_from_marks
+from ..mdst.algorithm import finalize_protocol_run, trivial_result
 from ..mdst.messages import (
     BfsWave,
     ChildAck,
@@ -77,7 +77,6 @@ from ..protocol import (
 from ..sim.delays import DelayModel
 from ..sim.faults import FaultPlan, wrap_factory
 from ..sim.messages import Message
-from ..sim.metrics import SimulationReport
 from ..sim.monitors import parent_pointers_form_forest
 from ..sim.network import Network
 from ..sim.node import NodeContext, Process
@@ -169,36 +168,10 @@ class FRProcess(ExchangeMixin, Process):
             self._begin_round(reset=False)
 
     def on_message(self, sender: int, msg: Message) -> None:
-        if isinstance(msg, Search):
-            self._on_search(sender, msg)
-        elif isinstance(msg, DegreeReport):
-            self._on_degree_report(sender, msg)
-        elif isinstance(msg, ImproveOrder):
-            self._on_improve_order(sender, msg)
-        elif isinstance(msg, Cut):
-            self._on_cut(sender, msg)
-        elif isinstance(msg, BfsWave):
-            self._on_wave(sender, msg)
-        elif isinstance(msg, CousinReply):
-            self._on_cousin_reply(sender, msg)
-        elif isinstance(msg, WaveEcho):
-            self._on_wave_echo(sender, msg)
-        elif isinstance(msg, Update):
-            self._on_update(sender, msg)
-        elif isinstance(msg, ChildMsg):
-            self._on_child(sender)
-        elif isinstance(msg, ChildAck):
-            self._on_child_ack(sender)
-        elif isinstance(msg, FlipBack):
-            self._on_flip_back(sender)
-        elif isinstance(msg, ExchangeDone):
-            self._on_exchange_done(sender)
-        elif isinstance(msg, ImproveReport):
-            self._on_improve_report(msg)
-        elif isinstance(msg, Terminate):
-            self._on_terminate()
-        else:  # pragma: no cover - defensive
+        handler = self._DISPATCH.get(msg.__class__) or self._dispatch_lookup(msg)
+        if handler is None:  # pragma: no cover - defensive
             raise ProtocolError(f"fr_local got unknown message {msg!r}")
+        handler(self, sender, msg)
 
     # ------------------------------------------------------------------
     # phase 1: SearchDegree (single-target shape, eligible aggregate)
@@ -543,6 +516,26 @@ class FRProcess(ExchangeMixin, Process):
         self.halt()
 
 
+# Dispatch table (engine v2): mirrors MDSTProcess._DISPATCH with the
+# variant's ImproveOrder in place of the MoveRoot/MoveRootAck pair.
+FRProcess._DISPATCH = {
+    Search: FRProcess._on_search,
+    DegreeReport: FRProcess._on_degree_report,
+    ImproveOrder: FRProcess._on_improve_order,
+    Cut: FRProcess._on_cut,
+    BfsWave: FRProcess._on_wave,
+    CousinReply: FRProcess._on_cousin_reply,
+    WaveEcho: FRProcess._on_wave_echo,
+    Update: FRProcess._on_update,
+    ChildMsg: lambda self, sender, msg: self._on_child(sender),
+    ChildAck: lambda self, sender, msg: self._on_child_ack(sender),
+    FlipBack: lambda self, sender, msg: self._on_flip_back(sender),
+    ExchangeDone: lambda self, sender, msg: self._on_exchange_done(sender),
+    ImproveReport: lambda self, sender, msg: self._on_improve_report(msg),
+    Terminate: lambda self, sender, msg: self._on_terminate(),
+}
+
+
 def make_fr_factory(
     tree_parents: dict[int, int | None],
     target_degree: int = 2,
@@ -589,6 +582,39 @@ def run_fr_local(
     sweep grids can cross algorithms with the mode axis, but the
     protocol has a single schedule.
     """
+    net, finalize = build_fr_local(
+        graph,
+        initial_tree,
+        initial_method=initial_method,
+        mode=mode,
+        max_rounds=max_rounds,
+        seed=seed,
+        delay=delay,
+        trace=trace,
+        check_invariants=check_invariants,
+        faults=faults,
+        scheduler=scheduler,
+    )
+    report = net.run(max_events=max_events) if net is not None else None
+    return finalize(report)
+
+
+def build_fr_local(
+    graph: Graph,
+    initial_tree: RootedTree | None = None,
+    *,
+    initial_method: str = "echo",
+    mode: str = "concurrent",
+    max_rounds: int | None = None,
+    seed: int = 0,
+    delay: DelayModel | None = None,
+    trace: TraceRecorder | None = None,
+    check_invariants: bool = False,
+    faults: FaultPlan | None = None,
+    scheduler: SchedulerPolicy | None = None,
+):
+    """Build half of :func:`run_fr_local` (same ``(net, finalize)``
+    contract as :func:`repro.mdst.algorithm.build_mdst`)."""
     del mode  # single-schedule protocol
     if graph.n == 0:
         raise ReproError("empty graph")
@@ -604,24 +630,8 @@ def run_fr_local(
     # never collide with a real cut-child id.
 
     if graph.n <= 2:
-        report = SimulationReport(
-            events_processed=0,
-            quiescent=True,
-            total_messages=0,
-            total_bits=0,
-            by_type={},
-            max_id_fields=0,
-            causal_time=0,
-            sim_time=0.0,
-            marks=(),
-        )
-        return MDSTResult(
-            graph=graph,
-            initial_tree=initial_tree,
-            final_tree=initial_tree,
-            rounds=(),
-            report=report,
-        )
+        result = trivial_result(graph, initial_tree)
+        return None, lambda report: result
 
     factory = make_fr_factory(
         initial_tree.parent_map(), max_rounds=max_rounds
@@ -638,21 +648,8 @@ def run_fr_local(
         monitors=monitors,
         scheduler=scheduler,
     )
-    report = net.run(max_events=max_events)
-    final_tree = extract_final_tree(net, graph)
-    rounds = rounds_from_marks(report)
-    if final_tree.max_degree() > initial_tree.max_degree():
-        raise ProtocolError(
-            "final degree exceeds initial degree "
-            f"({final_tree.max_degree()} > {initial_tree.max_degree()})"
-        )
-    return MDSTResult(
-        graph=graph,
-        initial_tree=initial_tree,
-        final_tree=final_tree,
-        rounds=rounds,
-        report=report,
-    )
+    tree = initial_tree
+    return net, lambda report: finalize_protocol_run(net, graph, tree, report)
 
 
 def _register() -> None:
@@ -669,6 +666,7 @@ def _register() -> None:
             # terminates at the sequential F-R fixpoint (no max-degree
             # vertex admits a direct improvement)
             degree_bound=lambda opt, n: opt + 1,
+            build=build_fr_local,
         )
     )
 

@@ -60,6 +60,12 @@ class Algorithm:
     description: str
     #: (opt, n) -> certified maximum final tree degree
     degree_bound: Callable[[int, int], int] = field(repr=False)
+    #: optional build half of ``run``: same keyword surface minus
+    #: ``max_events``, returning ``(net, finalize)`` so the multi-seed
+    #: batch runner (:mod:`repro.analysis.batch`) can drive replicas in
+    #: lockstep. ``None`` means the algorithm only supports the
+    #: monolithic ``run`` path (batch groups fall back to per-cell runs).
+    build: Callable[..., Any] | None = field(repr=False, default=None)
 
 
 _REGISTRY: dict[str, Algorithm] = {}
@@ -128,6 +134,35 @@ def _register_builtin_blin() -> None:
             scheduler=scheduler,
         )
 
+    def _build_blin(
+        graph,
+        initial_tree=None,
+        *,
+        initial_method: str = "echo",
+        mode: str = "concurrent",
+        max_rounds: int | None = None,
+        seed: int = 0,
+        delay=None,
+        trace=None,
+        check_invariants: bool = False,
+        faults=None,
+        scheduler=None,
+    ):
+        from ..mdst.algorithm import build_mdst
+
+        return build_mdst(
+            graph,
+            initial_tree,
+            initial_method=initial_method,
+            config=MDSTConfig(mode=mode, max_rounds=max_rounds),
+            seed=seed,
+            delay=delay,
+            trace=trace,
+            check_invariants=check_invariants,
+            faults=faults,
+            scheduler=scheduler,
+        )
+
     register_algorithm(
         Algorithm(
             name="blin_butelle",
@@ -139,6 +174,7 @@ def _register_builtin_blin() -> None:
             # terminates only when no max-degree node has a direct
             # improvement — the same fixpoint class as sequential F-R
             degree_bound=lambda opt, n: opt + 1,
+            build=_build_blin,
         )
     )
 

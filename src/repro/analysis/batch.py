@@ -1,0 +1,276 @@
+"""Multi-seed batch runner: lockstep execution of seed-varying cell groups.
+
+A sweep grid crosses every axis with ``seeds``, so the flat cell list is
+full of *groups* that differ only in the seed — same family, size,
+algorithm, delay, fault, scheduler. Engine v2 exploits that shape:
+
+* :class:`CellTemplate` factors the seed axis out of a
+  :class:`~repro.analysis.executor.RunSpec` — the algorithm registry
+  lookup and the delay/scheduler name validation happen once per group,
+  and the record-building code is shared by the per-cell and batched
+  drive paths (so their outputs are byte-identical *by construction*:
+  :func:`repro.analysis.harness.run_single` itself delegates here);
+* :func:`group_cells` finds the seed-varying groups positionally;
+* :func:`run_cells` runs one group, building every replica up front and
+  driving them with :func:`repro.sim.batch.run_lockstep` when the
+  algorithm exposes its build half
+  (:attr:`~repro.algorithms.registry.Algorithm.build`);
+* :func:`maybe_run_batched` is the executor hook: it routes groups
+  through a runner's ``run_batch`` attribute and everything else through
+  the plain per-cell runner, preserving cell order exactly.
+
+Because every replica is an isolated simulation, batching never changes
+a record — the executor and cache layers treat batched and per-cell
+results interchangeably (same cache schema, same bytes). This is pinned
+by ``tests/test_batch.py`` across algorithms, schedulers and fault
+plans.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from ..algorithms import get_algorithm
+from ..errors import AnalysisError, ProtocolError, TerminationError
+from ..graphs.generators import make_family
+from ..sim.batch import run_lockstep
+from ..sim.delays import delay_model_from_name
+from ..sim.faults import NO_FAULT, fault_plan_from_name
+from ..sim.scheduler import scheduler_from_name
+from ..spanning.provider import build_spanning_tree
+from .executor import RunSpec, execute_cell
+from .records import RunRecord
+
+__all__ = ["CellTemplate", "group_cells", "run_cells", "maybe_run_batched"]
+
+
+class CellTemplate:
+    """A :class:`RunSpec` with the seed axis factored out.
+
+    Construction resolves the algorithm and validates the delay and
+    scheduler names (raising exactly what the per-cell path would raise
+    for the same spec, just eagerly). ``run(seed)`` reproduces
+    :func:`~repro.analysis.harness.run_single` for ``replace(spec,
+    seed=seed)`` — it *is* its implementation.
+
+    Delay models and scheduler policies carry per-run RNG state, so
+    every run gets fresh instances; what the template hoists is the
+    name resolution and the shared record-building epilogue.
+    """
+
+    __slots__ = ("spec", "algorithm")
+
+    def __init__(self, spec: RunSpec) -> None:
+        self.spec = spec
+        self.algorithm = get_algorithm(spec.algorithm)
+        delay_model_from_name(spec.delay)
+        scheduler_from_name(spec.scheduler)
+
+    # -- seed-dependent prelude (shared by both drive paths) -----------
+
+    def setup(self, seed: int):
+        """Instance shape for one seed: graph, startup tree, fault plan."""
+        s = self.spec
+        graph = make_family(s.family, s.n, seed=seed)
+        startup = build_spanning_tree(graph, method=s.initial_method, seed=seed)
+        startup_messages = (
+            startup.report.total_messages if startup.report is not None else 0
+        )
+        plan = fault_plan_from_name(s.fault, graph.n, seed)
+        return graph, startup, startup_messages, plan
+
+    # -- drive ----------------------------------------------------------
+
+    def run(self, seed: int) -> RunRecord:
+        """One complete per-cell run (the reference semantics)."""
+        s = self.spec
+        graph, startup, startup_messages, plan = self.setup(seed)
+        try:
+            result = self.algorithm.run(
+                graph,
+                startup.tree,
+                mode=s.mode,
+                max_rounds=s.max_rounds,
+                seed=seed,
+                delay=delay_model_from_name(s.delay),
+                faults=plan or None,
+                scheduler=scheduler_from_name(s.scheduler),
+            )
+        except (TerminationError, ProtocolError):
+            if s.fault == NO_FAULT:
+                raise
+            return self.stalled_record(seed, graph, startup, startup_messages)
+        return self.ok_record(seed, graph, startup_messages, result)
+
+    # -- record building (the single source of record truth) -----------
+
+    def ok_record(self, seed, graph, startup_messages, result) -> RunRecord:
+        s = self.spec
+        return RunRecord(
+            family=s.family,
+            n=graph.n,
+            m=graph.m,
+            seed=seed,
+            initial_method=s.initial_method,
+            mode=s.mode,
+            delay=s.delay,
+            algorithm=s.algorithm,
+            k_initial=result.initial_degree,
+            k_final=result.final_degree,
+            rounds=result.num_rounds,
+            messages=result.messages,
+            causal_time=result.causal_time,
+            bits=result.report.total_bits,
+            max_msg_fields=result.report.max_id_fields,
+            startup_messages=startup_messages,
+            events=result.report.events_processed,
+            max_rounds=s.max_rounds,
+            fault=s.fault,
+            scheduler=s.scheduler,
+        )
+
+    def stalled_record(self, seed, graph, startup, startup_messages) -> RunRecord:
+        s = self.spec
+        return RunRecord(
+            family=s.family,
+            n=graph.n,
+            m=graph.m,
+            seed=seed,
+            initial_method=s.initial_method,
+            mode=s.mode,
+            delay=s.delay,
+            algorithm=s.algorithm,
+            k_initial=startup.tree.max_degree(),
+            k_final=startup.tree.max_degree(),
+            rounds=0,
+            messages=0,
+            causal_time=0,
+            bits=0,
+            max_msg_fields=0,
+            startup_messages=startup_messages,
+            max_rounds=s.max_rounds,
+            fault=s.fault,
+            scheduler=s.scheduler,
+            outcome="stalled",
+        )
+
+
+def group_key(spec: RunSpec) -> RunSpec:
+    """The seed-erased identity of a cell (group membership key)."""
+    return dataclasses.replace(spec, seed=0)
+
+
+def group_cells(cells: Sequence[RunSpec]) -> list[list[int]]:
+    """Partition *cells* into seed-varying-only groups.
+
+    Returns index lists in first-occurrence order; each list holds the
+    positions of one group's cells in their original order. Grouping is
+    global (not just contiguous runs), so interleaved grids still batch.
+    """
+    groups: dict[RunSpec, list[int]] = {}
+    for i, spec in enumerate(cells):
+        groups.setdefault(group_key(spec), []).append(i)
+    return list(groups.values())
+
+
+def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
+    """Run one seed-varying group, batched.
+
+    All replicas are built up front (template resolution shared), then
+    driven to quiescence in lockstep. Algorithms without a registered
+    build half fall back to sequential per-cell runs through the same
+    template. Error semantics match the per-cell path: with a fault
+    injected, a stalling replica flattens into a ``stalled`` record;
+    without one, the failure propagates.
+    """
+    cells = list(cells)
+    if not cells:
+        return []
+    template = CellTemplate(cells[0])
+    key = group_key(cells[0])
+    for c in cells[1:]:
+        if group_key(c) != key:
+            raise AnalysisError(
+                f"batch cells must differ only in seed: {c} vs {cells[0]}"
+            )
+    build = template.algorithm.build
+    if build is None:
+        return [template.run(c.seed) for c in cells]
+
+    s = template.spec
+    records: list[RunRecord | None] = [None] * len(cells)
+    nets, finals, meta, order = [], [], [], []
+    for i, c in enumerate(cells):
+        graph, startup, startup_messages, plan = template.setup(c.seed)
+        net, finalize = build(
+            graph,
+            startup.tree,
+            mode=s.mode,
+            max_rounds=s.max_rounds,
+            seed=c.seed,
+            delay=delay_model_from_name(s.delay),
+            faults=plan or None,
+            scheduler=scheduler_from_name(s.scheduler),
+        )
+        if net is None:  # trivial instance: nothing to simulate
+            records[i] = template.ok_record(
+                c.seed, graph, startup_messages, finalize(None)
+            )
+        else:
+            order.append(i)
+            nets.append(net)
+            finals.append(finalize)
+            meta.append((graph, startup, startup_messages))
+
+    errors: dict[int, Exception] = {}
+    if s.fault == NO_FAULT:
+        # certified-or-raise: the first failure aborts the whole group,
+        # exactly as it aborts a serial sweep
+        reports = run_lockstep(nets)
+    else:
+        reports = run_lockstep(nets, on_error=errors.__setitem__)
+
+    for j, i in enumerate(order):
+        seed = cells[i].seed
+        graph, startup, startup_messages = meta[j]
+        if j in errors:
+            records[i] = template.stalled_record(
+                seed, graph, startup, startup_messages
+            )
+            continue
+        try:
+            result = finals[j](reports[j])
+        except (TerminationError, ProtocolError):
+            if s.fault == NO_FAULT:
+                raise
+            records[i] = template.stalled_record(
+                seed, graph, startup, startup_messages
+            )
+            continue
+        records[i] = template.ok_record(seed, graph, startup_messages, result)
+    return records  # type: ignore[return-value]
+
+
+def maybe_run_batched(runner, cells: Sequence[RunSpec]) -> list[RunRecord]:
+    """Executor hook: batch seed-varying groups, run the rest per-cell.
+
+    *runner* opts in by exposing a ``run_batch`` attribute (a callable
+    over one group); singleton groups and opt-out runners go through the
+    plain per-cell call. Output order is the cell order, always.
+    """
+    run_batch = getattr(runner, "run_batch", None)
+    if run_batch is None:
+        return [runner(spec) for spec in cells]
+    records: list[RunRecord | None] = [None] * len(cells)
+    for idxs in group_cells(cells):
+        if len(idxs) == 1:
+            records[idxs[0]] = runner(cells[idxs[0]])
+        else:
+            for i, rec in zip(idxs, run_batch([cells[i] for i in idxs])):
+                records[i] = rec
+    return records  # type: ignore[return-value]
+
+
+#: the default cell runner batches through the lockstep group runner
+execute_cell.run_batch = run_cells

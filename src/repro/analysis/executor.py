@@ -114,13 +114,28 @@ class SerialExecutor:
 
     *runner* swaps the unit of work (default: :func:`execute_cell`); the
     exploration harness substitutes its error-capturing probe.
+
+    When the runner exposes a ``run_batch`` attribute (both built-in
+    runners do), seed-varying-only cell groups are routed through the
+    multi-seed batch runner (:mod:`repro.analysis.batch`) — same records,
+    same order, one template resolution per group and lockstep replica
+    driving. ``batch=False`` forces the plain per-cell loop (the perf
+    suite's divergence checks use it as the reference path).
     """
 
-    def __init__(self, runner: CellRunner = execute_cell) -> None:
+    def __init__(self, runner: CellRunner = execute_cell, batch: bool = True) -> None:
         self.runner = runner
+        self.batch = batch
 
     def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
         runner = self.runner
+        if self.batch and len(cells) > 1:
+            # importing the batch module also registers execute_cell's
+            # run_batch hook; maybe_run_batched falls back to the plain
+            # loop for runners that never opt in
+            from .batch import maybe_run_batched
+
+            return maybe_run_batched(runner, cells)
         return [runner(spec) for spec in cells]
 
 

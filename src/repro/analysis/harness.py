@@ -15,18 +15,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
-from ..algorithms import DEFAULT_ALGORITHM, algorithm_names, get_algorithm
-from ..errors import AnalysisError, ProtocolError, TerminationError
-from ..graphs.generators import FAMILIES, make_family
+from ..algorithms import DEFAULT_ALGORITHM, algorithm_names
+from ..errors import AnalysisError
+from ..graphs.generators import FAMILIES
 from ..mdst.config import MODES
-from ..sim.delays import DELAY_NAMES, delay_model_from_name
-from ..sim.faults import NO_FAULT, fault_names, fault_plan_from_name
-from ..sim.scheduler import NO_SCHEDULER, scheduler_from_name, scheduler_names
-from ..spanning.provider import (
-    CENTRALIZED_METHODS,
-    DISTRIBUTED_METHODS,
-    build_spanning_tree,
-)
+from ..sim.delays import DELAY_NAMES
+from ..sim.faults import NO_FAULT, fault_names
+from ..sim.scheduler import NO_SCHEDULER, scheduler_names
+from ..spanning.provider import CENTRALIZED_METHODS, DISTRIBUTED_METHODS
 from .cache import ResultCache
 from .executor import Executor, RunSpec, make_executor
 from .records import RunRecord
@@ -149,70 +145,23 @@ def run_single(
     with an error-capturing probe instead
     (:func:`repro.exploration.probe_cell`).
     """
-    graph = make_family(family, n, seed=seed)
-    startup = build_spanning_tree(graph, method=initial_method, seed=seed)
-    startup_messages = (
-        startup.report.total_messages if startup.report is not None else 0
-    )
-    plan = fault_plan_from_name(fault, graph.n, seed)
-    try:
-        result = get_algorithm(algorithm).run(
-            graph,
-            startup.tree,
-            mode=mode,
-            max_rounds=max_rounds,
-            seed=seed,
-            delay=delay_model_from_name(delay),
-            faults=plan or None,
-            scheduler=scheduler_from_name(scheduler),
-        )
-    except (TerminationError, ProtocolError):
-        if fault == NO_FAULT:
-            raise
-        return RunRecord(
+    from .batch import CellTemplate
+
+    template = CellTemplate(
+        RunSpec(
             family=family,
-            n=graph.n,
-            m=graph.m,
+            n=n,
             seed=seed,
             initial_method=initial_method,
             mode=mode,
             delay=delay,
-            algorithm=algorithm,
-            k_initial=startup.tree.max_degree(),
-            k_final=startup.tree.max_degree(),
-            rounds=0,
-            messages=0,
-            causal_time=0,
-            bits=0,
-            max_msg_fields=0,
-            startup_messages=startup_messages,
             max_rounds=max_rounds,
+            algorithm=algorithm,
             fault=fault,
             scheduler=scheduler,
-            outcome="stalled",
         )
-    return RunRecord(
-        family=family,
-        n=graph.n,
-        m=graph.m,
-        seed=seed,
-        initial_method=initial_method,
-        mode=mode,
-        delay=delay,
-        algorithm=algorithm,
-        k_initial=result.initial_degree,
-        k_final=result.final_degree,
-        rounds=result.num_rounds,
-        messages=result.messages,
-        causal_time=result.causal_time,
-        bits=result.report.total_bits,
-        max_msg_fields=result.report.max_id_fields,
-        startup_messages=startup_messages,
-        events=result.report.events_processed,
-        max_rounds=max_rounds,
-        fault=fault,
-        scheduler=scheduler,
     )
+    return template.run(seed)
 
 
 def run_sweep(

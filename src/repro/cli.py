@@ -333,6 +333,21 @@ def build_parser() -> argparse.ArgumentParser:
         default="",
         help="free-form note stored in the baseline document",
     )
+    bench_p.add_argument(
+        "--profile",
+        default=None,
+        metavar="BENCH",
+        help=(
+            "run one named bench under cProfile and print the hottest "
+            "functions instead of running the suite"
+        ),
+    )
+    bench_p.add_argument(
+        "--profile-lines",
+        type=int,
+        default=25,
+        help="rows per --profile table (default %(default)s)",
+    )
 
     exp = sub.add_parser(
         "explore",
@@ -710,6 +725,46 @@ def _campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_profile(args: argparse.Namespace) -> int:
+    """``bench --profile NAME``: one warm-up call, one profiled call,
+    the cProfile hot-function table — where the events actually go."""
+    import cProfile
+    import io
+    import pstats
+
+    from .perf import get_bench
+
+    try:
+        bench = get_bench(args.profile)
+    except AnalysisError as exc:
+        print(f"bench: {exc}", file=sys.stderr)
+        return 2
+    if bench.kind == "micro":
+        kernel = bench.micro()
+    else:
+        from .analysis.executor import SerialExecutor
+
+        cells = bench.cells()
+
+        def kernel():
+            return SerialExecutor().run(cells)
+
+    kernel()  # warm-up: codec/dispatch registration, bytecode warmup
+    profiler = cProfile.Profile()
+    profiler.enable()
+    kernel()
+    profiler.disable()
+    out = io.StringIO()
+    stats = pstats.Stats(profiler, stream=out)
+    stats.sort_stats("cumulative").print_stats(args.profile_lines)
+    print(
+        f"profile: bench '{bench.name}' ({bench.kind}), "
+        "one profiled call after one warm-up call"
+    )
+    print(out.getvalue().rstrip())
+    return 0
+
+
 def _bench(args: argparse.Namespace) -> int:
     import hashlib
 
@@ -751,6 +806,9 @@ def _bench(args: argparse.Namespace) -> int:
             "[--out PATH] [--compare BASELINE --gate]"
         )
         return 0
+
+    if args.profile is not None:
+        return _bench_profile(args)
 
     # resolve gate inputs BEFORE the (potentially long) suite run: a bad
     # tolerance or a missing baseline must fail fast, and the default

@@ -25,7 +25,7 @@ from ..errors import ReproError
 from ..graphs.generators import make_family
 from ..spanning.provider import build_spanning_tree
 
-__all__ = ["probe_cell", "PROBE_CACHE_SALT"]
+__all__ = ["probe_cell", "probe_cells", "PROBE_CACHE_SALT"]
 
 #: Cache-key salt for probe batches (see :func:`repro.analysis.cache.cache_key`).
 PROBE_CACHE_SALT = "exploration-probe:1"
@@ -81,3 +81,27 @@ def probe_cell(spec: RunSpec) -> RunRecord:
             outcome="error",
             extra={"error": f"{type(exc).__name__}: {exc}"},
         )
+
+
+def probe_cells(cells) -> list[RunRecord]:
+    """Batched probe: one seed-varying group through the multi-seed
+    batch runner (:func:`repro.analysis.batch.run_cells`).
+
+    A clean group produces exactly the per-cell records at batch speed.
+    If *any* replica fails — a counterexample found mid-batch, a bad
+    spec, a stall without a fault — the whole group is re-probed cell by
+    cell, so every failure is captured as its own ``outcome="error"``
+    record exactly as :func:`probe_cell` would. (Failure groups are the
+    rare case by construction: exploration campaigns mostly confirm
+    clean behavior.) Non-library errors propagate, as everywhere.
+    """
+    from ..analysis.batch import run_cells
+
+    try:
+        return run_cells(cells)
+    except ReproError:
+        return [probe_cell(spec) for spec in cells]
+
+
+#: executors route seed-varying probe groups through the batch runner
+probe_cell.run_batch = probe_cells

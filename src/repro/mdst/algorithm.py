@@ -3,6 +3,8 @@ the MDegST protocol to termination, extract and certify the result."""
 
 from __future__ import annotations
 
+from typing import Callable
+
 from ..errors import NotConnectedError, ProtocolError, ReproError
 from ..graphs.graph import Graph
 from ..graphs.traversal import is_connected
@@ -19,7 +21,14 @@ from .config import MDSTConfig
 from .node import make_mdst_factory
 from .result import MDSTResult, RoundInfo
 
-__all__ = ["run_mdst", "extract_final_tree", "rounds_from_marks"]
+__all__ = [
+    "run_mdst",
+    "build_mdst",
+    "trivial_result",
+    "finalize_protocol_run",
+    "extract_final_tree",
+    "rounds_from_marks",
+]
 
 
 def run_mdst(
@@ -73,6 +82,43 @@ def run_mdst(
         certified: the output is a spanning tree of *graph* whose degree
         never exceeds the initial tree's.
     """
+    net, finalize = build_mdst(
+        graph,
+        initial_tree,
+        initial_method=initial_method,
+        config=config,
+        seed=seed,
+        delay=delay,
+        trace=trace,
+        check_invariants=check_invariants,
+        faults=faults,
+        scheduler=scheduler,
+    )
+    report = net.run(max_events=max_events) if net is not None else None
+    return finalize(report)
+
+
+def build_mdst(
+    graph: Graph,
+    initial_tree: RootedTree | None = None,
+    *,
+    initial_method: str = "echo",
+    config: MDSTConfig | None = None,
+    seed: int = 0,
+    delay: DelayModel | None = None,
+    trace: TraceRecorder | None = None,
+    check_invariants: bool = False,
+    faults: FaultPlan | None = None,
+    scheduler: SchedulerPolicy | None = None,
+) -> tuple[Network | None, "Callable[[SimulationReport | None], MDSTResult]"]:
+    """The build half of :func:`run_mdst`: validate inputs, construct the
+    network, and return ``(net, finalize)``, where ``finalize(report)``
+    certifies and packages the protocol outcome. ``net`` is ``None`` for
+    the trivial ``n <= 2`` case (nothing to simulate; ``finalize`` then
+    ignores its argument). The multi-seed batch runner
+    (:mod:`repro.analysis.batch`) uses the split form to drive many
+    replicas in lockstep; ``run_mdst`` is build + run + finalize.
+    """
     if graph.n == 0:
         raise ReproError("empty graph")
     if not is_connected(graph):
@@ -87,24 +133,8 @@ def run_mdst(
 
     if graph.n <= 2:
         # nothing to optimize: a single node or a single edge
-        report = SimulationReport(
-            events_processed=0,
-            quiescent=True,
-            total_messages=0,
-            total_bits=0,
-            by_type={},
-            max_id_fields=0,
-            causal_time=0,
-            sim_time=0.0,
-            marks=(),
-        )
-        return MDSTResult(
-            graph=graph,
-            initial_tree=initial_tree,
-            final_tree=initial_tree,
-            rounds=(),
-            report=report,
-        )
+        result = trivial_result(graph, initial_tree)
+        return None, lambda report: result
 
     factory = make_mdst_factory(initial_tree.parent_map(), cfg)
     if faults:
@@ -119,10 +149,44 @@ def run_mdst(
         monitors=monitors,
         scheduler=scheduler,
     )
-    report = net.run(max_events=max_events)
+    tree = initial_tree
+    return net, lambda report: finalize_protocol_run(net, graph, tree, report)
+
+
+def trivial_result(graph: Graph, initial_tree: RootedTree) -> MDSTResult:
+    """Result for graphs with nothing to optimize (n <= 2): the initial
+    tree is final and the report is all zeros."""
+    report = SimulationReport(
+        events_processed=0,
+        quiescent=True,
+        total_messages=0,
+        total_bits=0,
+        by_type={},
+        max_id_fields=0,
+        causal_time=0,
+        sim_time=0.0,
+        marks=(),
+    )
+    return MDSTResult(
+        graph=graph,
+        initial_tree=initial_tree,
+        final_tree=initial_tree,
+        rounds=(),
+        report=report,
+    )
+
+
+def finalize_protocol_run(
+    net: Network,
+    graph: Graph,
+    initial_tree: RootedTree,
+    report: SimulationReport,
+) -> MDSTResult:
+    """Extract + certify the final tree off a quiescent network — the
+    shared epilogue of every registered algorithm (and of both the
+    per-cell and batched drive paths)."""
     final_tree = extract_final_tree(net, graph)
     rounds = rounds_from_marks(report)
-
     if final_tree.max_degree() > initial_tree.max_degree():
         raise ProtocolError(
             "final degree exceeds initial degree "

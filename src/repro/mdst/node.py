@@ -190,38 +190,10 @@ class MDSTProcess(ExchangeMixin, Process):
             self._begin_round(reset=False)
 
     def on_message(self, sender: int, msg: Message) -> None:
-        if isinstance(msg, Search):
-            self._on_search(sender, msg)
-        elif isinstance(msg, DegreeReport):
-            self._on_degree_report(sender, msg)
-        elif isinstance(msg, MoveRoot):
-            self._on_move_root(sender, msg)
-        elif isinstance(msg, MoveRootAck):
-            self._on_move_root_ack(sender)
-        elif isinstance(msg, Cut):
-            self._on_cut(sender, msg)
-        elif isinstance(msg, BfsWave):
-            self._on_wave(sender, msg)
-        elif isinstance(msg, CousinReply):
-            self._on_cousin_reply(sender, msg)
-        elif isinstance(msg, WaveEcho):
-            self._on_wave_echo(sender, msg)
-        elif isinstance(msg, Update):
-            self._on_update(sender, msg)
-        elif isinstance(msg, ChildMsg):
-            self._on_child(sender)
-        elif isinstance(msg, ChildAck):
-            self._on_child_ack(sender)
-        elif isinstance(msg, FlipBack):
-            self._on_flip_back(sender)
-        elif isinstance(msg, ExchangeDone):
-            self._on_exchange_done(sender)
-        elif isinstance(msg, ImproveReport):
-            self._on_improve_report(msg)
-        elif isinstance(msg, Terminate):
-            self._on_terminate()
-        else:  # pragma: no cover - defensive
+        handler = self._DISPATCH.get(msg.__class__) or self._dispatch_lookup(msg)
+        if handler is None:  # pragma: no cover - defensive
             raise ProtocolError(f"MDST got unknown message {msg!r}")
+        handler(self, sender, msg)
 
     # ------------------------------------------------------------------
     # phase 1: SearchDegree
@@ -624,6 +596,28 @@ class MDSTProcess(ExchangeMixin, Process):
         for c in self.children:
             self.send(c, Terminate())
         self.halt()
+
+
+# Dispatch table (engine v2): one dict get per delivery instead of a
+# 15-deep isinstance chain. Handlers that ignore part of the uniform
+# (self, sender, msg) delivery signature get a thin adapter.
+MDSTProcess._DISPATCH = {
+    Search: MDSTProcess._on_search,
+    DegreeReport: MDSTProcess._on_degree_report,
+    MoveRoot: MDSTProcess._on_move_root,
+    MoveRootAck: lambda self, sender, msg: self._on_move_root_ack(sender),
+    Cut: MDSTProcess._on_cut,
+    BfsWave: MDSTProcess._on_wave,
+    CousinReply: MDSTProcess._on_cousin_reply,
+    WaveEcho: MDSTProcess._on_wave_echo,
+    Update: MDSTProcess._on_update,
+    ChildMsg: lambda self, sender, msg: self._on_child(sender),
+    ChildAck: lambda self, sender, msg: self._on_child_ack(sender),
+    FlipBack: lambda self, sender, msg: self._on_flip_back(sender),
+    ExchangeDone: lambda self, sender, msg: self._on_exchange_done(sender),
+    ImproveReport: lambda self, sender, msg: self._on_improve_report(msg),
+    Terminate: lambda self, sender, msg: self._on_terminate(),
+}
 
 
 def make_mdst_factory(tree_parents: dict[int, int | None], config: MDSTConfig):

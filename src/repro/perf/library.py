@@ -103,6 +103,20 @@ def _build() -> tuple[BenchSpec, ...]:
             repeats=5,
         ),
         BenchSpec(
+            name="message_codec",
+            description="message encode/decode round-trip + compiled field count",
+            suites=("smoke", "core"),
+            micro=w.message_codec_kernel,
+            repeats=5,
+        ),
+        BenchSpec(
+            name="batch_runner",
+            description="multi-seed batch execution of one cell group (8 seeds)",
+            suites=("smoke", "core"),
+            micro=w.batch_runner_kernel,
+            repeats=3,
+        ),
+        BenchSpec(
             name="echo_wave",
             description="one echo spanning wave, n=96 (loop-dominated hot path)",
             suites=("smoke", "core"),

@@ -55,6 +55,8 @@ __all__ = [
     "mdst_result_work",
     "event_queue_kernel",
     "policy_queue_kernel",
+    "message_codec_kernel",
+    "batch_runner_kernel",
     "echo_wave_kernel",
     "full_protocol_kernel",
     "ghs_startup_kernel",
@@ -294,7 +296,7 @@ def policy_queue_kernel():
     def run() -> dict[str, int]:
         policy = scheduler_from_name("random")
         policy.bind(0, n)
-        q = PolicyQueue(policy)
+        q = PolicyQueue(policy, n=n)
         ops = 0
         for wave in range(20):
             for i in range(100):
@@ -356,6 +358,69 @@ def ghs_startup_kernel():
             "events": report.events_processed,
             "messages": report.total_messages,
             "bits": report.total_bits,
+        }
+
+    return run
+
+
+def message_codec_kernel():
+    """Message codec round-trip: encode/decode + compiled field count
+    over a fixed protocol-message vocabulary (the engine-v2 accounting
+    path; work metrics are independent of live registry state)."""
+    from ..mdst.messages import (
+        BfsWave,
+        CousinReply,
+        Cut,
+        DegreeReport,
+        MoveRoot,
+        Search,
+        Terminate,
+        WaveEcho,
+    )
+    from ..sim.codec import codec_entry, decode_message, encode_message
+
+    vocab = (
+        Search(reset=False, single=True),
+        DegreeReport(deg=5, node=12, count=2),
+        MoveRoot(k=4, target=9, round=3),
+        Cut(k=4, cutter=7),
+        BfsWave(k=4, frag_root=7, frag_child=3, tree=True),
+        CousinReply(frag_root=7, frag_child=3, deg=4),
+        WaveEcho(local=2, remote=11, deg=5),
+        Terminate(),
+    )
+    rounds = 3000
+
+    def run() -> dict[str, int]:
+        ops = 0
+        id_fields = 0
+        for _ in range(rounds):
+            for msg in vocab:
+                if decode_message(encode_message(msg)) != msg:
+                    raise AssertionError(f"codec round-trip failed for {msg!r}")
+                id_fields += codec_entry(msg.__class__).count(msg)
+                ops += 2
+        return {"ops": ops, "id_fields": id_fields, "message_types": len(vocab)}
+
+    return run
+
+
+def batch_runner_kernel():
+    """Multi-seed batch execution: one seed-varying cell group through
+    the batching :class:`~repro.analysis.executor.SerialExecutor`
+    (template resolution + lockstep replica driving; the work metrics
+    are the summed per-record metrics, byte-identical to per-cell runs)."""
+    from ..analysis.executor import SerialExecutor
+
+    cells = [RunSpec(family="gnp_sparse", n=32, seed=seed) for seed in range(8)]
+
+    def run() -> dict[str, int]:
+        records = SerialExecutor().run(cells)
+        return {
+            "cells": len(records),
+            "events": sum(r.events for r in records),
+            "messages": sum(r.messages for r in records),
+            "bits": sum(r.bits for r in records),
         }
 
     return run

@@ -1,0 +1,81 @@
+"""Lockstep driver for batches of independent simulations.
+
+The engine-v2 :class:`~repro.sim.network.Network` exposes a chunked
+drive API (``run_chunk(stop_at)`` / ``finish(processed)``); this module
+uses it to step many *independent* replicas — same configuration,
+different seeds — through their event streams in round-robin chunks.
+
+Each replica is a complete, isolated simulation (own graph, own queue,
+own RNG streams), so lockstep interleaving cannot change any replica's
+outcome: the per-replica event order is exactly what a solo
+``net.run()`` would produce, and the reports come back byte-identical.
+What batching buys is locality (one replica's hot structures stay in
+cache for a whole chunk instead of a whole run) and a single shared
+drive loop for the callers that fan out over seeds
+(:mod:`repro.analysis.batch`, the perf suite's ``batch_runner`` bench).
+
+Error semantics match :meth:`~repro.sim.network.Network.run`: a replica
+whose budget is exhausted with events still queued raises
+:class:`~repro.errors.TerminationError`; protocol errors surface from
+``run_chunk`` as they would from ``run``. Callers that need per-replica
+error capture (fault sweeps) pass ``on_error`` to collect exceptions
+instead of aborting the whole batch.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..errors import ProtocolError, TerminationError
+from .metrics import SimulationReport
+from .network import Network
+
+__all__ = ["run_lockstep"]
+
+#: Events each replica processes per scheduling turn. Large enough that
+#: chunk bookkeeping is noise, small enough that replicas genuinely
+#: interleave on the workloads the batch runner targets.
+DEFAULT_CHUNK = 8192
+
+
+def run_lockstep(
+    networks: list[Network],
+    *,
+    max_events: int = 5_000_000,
+    chunk: int = DEFAULT_CHUNK,
+    on_error: Callable[[int, Exception], None] | None = None,
+) -> list[SimulationReport | None]:
+    """Drive every network to quiescence, *chunk* events per turn.
+
+    Returns one :class:`SimulationReport` per network, positionally.
+    With *on_error* given, a replica raising
+    :class:`~repro.errors.TerminationError` / :class:`ProtocolError`
+    (from a handler, the budget check, or a monitor) is retired with a
+    ``None`` report and ``on_error(index, exc)`` is called; without it
+    the first such exception propagates.
+    """
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    reports: list[SimulationReport | None] = [None] * len(networks)
+    active = list(range(len(networks)))
+    while active:
+        still = []
+        for i in active:
+            net = networks[i]
+            try:
+                net.run_chunk(min(net.processed + chunk, max_events))
+                if net.queue:
+                    if net.processed >= max_events:
+                        raise TerminationError(
+                            f"event budget {max_events} exhausted; "
+                            "protocol livelock?"
+                        )
+                    still.append(i)
+                else:
+                    reports[i] = net.finish(net.processed)
+            except (TerminationError, ProtocolError) as exc:
+                if on_error is None:
+                    raise
+                on_error(i, exc)
+        active = still
+    return reports

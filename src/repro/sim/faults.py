@@ -102,6 +102,7 @@ def drop_messages(probability: float, seed: int = 0) -> Fault:
                 orig_send(dst, msg)
 
         proc.ctx.send = send  # type: ignore[method-assign]
+        proc.send = send  # keep the process's prebound alias in sync
         return proc
 
     return fault

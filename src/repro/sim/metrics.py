@@ -21,6 +21,7 @@ import math
 from dataclasses import dataclass, field
 from typing import Any
 
+from .codec import codec_entry
 from .messages import MESSAGE_TYPE_BITS, Message
 
 __all__ = ["MessageStats", "SimulationReport"]
@@ -46,6 +47,20 @@ class MessageStats:
         self._id_bits = max(1, math.ceil(math.log2(max(self.n, 2))))
 
     def record_send(self, msg: Message) -> None:
+        entry = codec_entry(msg.__class__)
+        fields = entry.count(msg)
+        self.total_messages += 1
+        name = entry.name
+        self.by_type[name] = self.by_type.get(name, 0) + 1
+        if fields > self.max_id_fields:
+            self.max_id_fields = fields
+        self.total_bits += MESSAGE_TYPE_BITS + fields * self._id_bits
+
+    def record_send_legacy(self, msg: Message) -> None:
+        """The seed-era accounting shape: re-derives the field count via
+        :meth:`~repro.sim.messages.Message.field_values` instead of the
+        codec's compiled counter. Byte-identical totals; only the
+        ``slow_event_loop`` mutation routes sends through it."""
         self.total_messages += 1
         name = type(msg).__name__
         self.by_type[name] = self.by_type.get(name, 0) + 1

@@ -17,32 +17,49 @@ repair):
 The engine enforces a hard *event budget* so a livelocked protocol fails
 fast with :class:`~repro.errors.TerminationError` instead of spinning.
 
-The event loop has two shapes: a fast path used when no trace recorder
-and no monitors are attached (the sweep-harness configuration), which
-pops raw heap tuples and keeps the hot names in locals, and a general
-path that additionally emits trace records and runs periodic monitors.
-Both consume the identical ``(time, seq)``-ordered queue, so event
-ordering — and therefore every metric — is byte-for-byte the same
-whichever loop runs.
+Engine v2 — flat data on the hot path. The structures are chosen once at
+construction from the run configuration:
 
-With a :class:`~repro.sim.scheduler.SchedulerPolicy` attached, delivery
-order is taken over by the policy instead of the clock (per-link FIFO is
-still enforced structurally by :class:`~repro.sim.scheduler.PolicyQueue`),
-the delay model is never sampled, and the general loop runs — the
-adversarial-schedule configuration used by :mod:`repro.exploration`.
+* **queue** — unit delays without a scheduler policy (the dominant
+  configuration) get a :class:`~repro.sim.events.BucketQueue` (flat
+  per-time buckets, O(1) push/pop); random delay models keep the binary
+  heap; a scheduler policy keeps :class:`~repro.sim.scheduler.PolicyQueue`
+  (flat per-link rings). All three pop the identical ``(time, seq)``
+  raw-tuple order, so every metric is byte-for-byte the same.
+* **send** — the unit-delay fast path is a specialized closure that
+  charges message accounting through the compiled per-class counters of
+  :mod:`repro.sim.codec` (no ``isinstance`` chain, no ``field_values``
+  list build) and appends straight into the current time bucket.
+* **loops** — the fast loop (no trace, no monitors, no scheduler) walks
+  bucket lists with prebound handler tables (one dict lookup per event,
+  no ``Event`` materialization); the general loop shares the raw-tuple
+  path and adds the thin trace/monitor adapter. The handler tables are
+  bound at run time, after fault plans have wrapped the processes.
+
+Chunked driving: :meth:`Network.run_chunk` processes events up to a stop
+mark and returns, so :func:`repro.sim.batch.run_lockstep` can interleave
+many replica networks; :meth:`Network.run` is one chunk to quiescence
+plus :meth:`Network.finish`.
+
+The ``slow_event_loop`` mutation re-opens the seed-era shape end to end:
+heap queue, per-pop :class:`Event` materialization, method-call stats,
+``field_values``-based send accounting and a per-delivery
+``message_bits`` recomputation — metrics stay byte-identical, only
+wall-clock regresses (the perf gate's sensitivity self-test).
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
-from heapq import heappop
+from heapq import heappop, heappush
 
 from .._mutation import mutation_active
-from ..errors import SimulationError, TerminationError
+from ..errors import ChannelError, SimulationError, TerminationError
 from ..graphs.graph import Graph
+from .codec import codec_entries, codec_entry
 from .delays import DelayModel, UnitDelay
-from .events import Event, EventKind, EventQueue
-from .messages import Message
+from .events import BucketQueue, Event, EventKind, EventQueue
+from .messages import MESSAGE_TYPE_BITS, Message
 from .metrics import MessageStats, SimulationReport
 from .node import NodeContext, Process
 from .scheduler import PolicyQueue, SchedulerPolicy
@@ -55,6 +72,29 @@ ProcessFactory = type[Process] | object
 
 _START = EventKind.START
 _DELIVER = EventKind.DELIVER
+
+#: Flat FIFO-floor storage bound (n*n floats); larger graphs use a dict.
+_MAX_DENSE_FLOORS = 1 << 18
+
+
+def _node_send(src: int, neighbors: tuple, nbset: frozenset, net_send):
+    """Per-node send closure: O(1) adjacency check, source id prebound.
+
+    Installed as the instance's ``ctx.send`` so a protocol send is two
+    frames (this closure + the network send) instead of three with an
+    O(degree) tuple scan. Fault wrappers keep composing: they rebind
+    ``ctx.send`` (and the process's ``send`` alias) around whatever is
+    installed here.
+    """
+
+    def send(dst: int, msg: Message) -> None:
+        if dst not in nbset:
+            raise ChannelError(
+                f"node {src} has no link to {dst} (neighbors: {neighbors})"
+            )
+        net_send(src, dst, msg)
+
+    return send
 
 
 class Network:
@@ -102,39 +142,73 @@ class Network:
             raise SimulationError("cannot simulate an empty network")
         self.graph = graph
         self.scheduler = scheduler
-        if scheduler is not None:
-            scheduler.bind(seed, graph.n)
-            self.queue: EventQueue = PolicyQueue(scheduler)
-        else:
-            self.queue = EventQueue()
-        self.stats = MessageStats(n=graph.n)
-        self.trace = trace
         self.delay = delay if delay is not None else UnitDelay()
         self.delay.bind(seed)
         # Unit delays make per-link delivery times inherently non-decreasing
         # (global time is), so the FIFO clamp is skipped on that path.
         self._unit_delay = type(self.delay) is UnitDelay
+        self._mutated_slow = mutation_active("slow_event_loop")
+        nodes = graph.nodes()
+        dense = nodes == list(range(graph.n))
+        self._dense = dense
+        if scheduler is not None:
+            scheduler.bind(seed, graph.n)
+            self.queue: EventQueue = PolicyQueue(
+                scheduler, n=graph.n if dense else None
+            )
+        elif self._unit_delay and not self._mutated_slow:
+            self.queue = BucketQueue()
+        else:
+            self.queue = EventQueue()
+        self.stats = MessageStats(n=graph.n)
+        self.trace = trace
         self.monitors = tuple(monitors)
         self.monitor_interval = int(monitor_interval)
-        self._clocks: dict[int, int] = {u: 0 for u in graph.nodes()}
-        self._fifo_floor: dict[tuple[int, int], float] = {}
+        # per-node causal clocks: flat list under dense ids (every graph
+        # generator produces 0..n-1), dict for arbitrary identities
+        self._clocks: list[int] | dict[int, int] = (
+            [0] * graph.n if dense else {u: 0 for u in nodes}
+        )
+        # FIFO floors (random-delay path only): flat n*n slab under dense
+        # ids, keyed by the dense link id src*n+dst; dict fallback else.
+        self._dense_floors = dense and graph.n * graph.n <= _MAX_DENSE_FLOORS
+        if self._dense_floors:
+            self._fifo_floor: list[float] | dict = [0.0] * (graph.n * graph.n)
+        else:
+            self._fifo_floor = {}
         self._in_flight = 0
+        self._processed = 0
+        self._slow_accounting = self._mutated_slow
+        # the unit-delay/no-policy/no-trace configuration gets a
+        # specialized send closure over the bucket queue's internals;
+        # everything else shares the general method
+        if (
+            trace is None
+            and scheduler is None
+            and self._unit_delay
+            and not self._mutated_slow
+        ):
+            send = self._make_unit_send()
+        else:
+            send = self._send
         self.processes: dict[int, Process] = {}
         now_fn = self.queue.get_now
-        for u in graph.nodes():
-            ctx = NodeContext(
-                node_id=u,
-                neighbors=tuple(sorted(graph.neighbors(u))),
-            )
-            ctx._send = self._send
+        marker = self._make_marker()
+        for u in nodes:
+            neighbors = tuple(sorted(graph.neighbors(u)))
+            ctx = NodeContext(node_id=u, neighbors=neighbors)
+            ctx._send = send
             ctx._now = now_fn
-            ctx._mark = self._make_marker()
+            ctx._mark = marker
+            # instance attribute shadows the NodeContext.send method: the
+            # prebound closure drops a frame and the O(degree) scan
+            ctx.send = _node_send(u, neighbors, frozenset(neighbors), send)  # type: ignore[method-assign]
             self.processes[u] = factory(ctx)  # type: ignore[operator]
         starts = dict(start_times or {})
-        unknown = set(starts) - set(graph.nodes())
+        unknown = set(starts) - set(nodes)
         if unknown:
             raise SimulationError(f"start_times for unknown nodes {sorted(unknown)}")
-        for u in graph.nodes():
+        for u in nodes:
             self.queue.push_raw(starts.get(u, 0.0), _START, target=u)
 
     # -- wiring ------------------------------------------------------------
@@ -145,9 +219,61 @@ class Network:
 
         return mark
 
+    def _make_unit_send(self):
+        """Specialized send for the fast configuration: unit delay, no
+        scheduler, no trace. Codec accounting + direct bucket append."""
+        net = self
+        queue: BucketQueue = self.queue  # type: ignore[assignment]
+        buckets = queue._buckets
+        times = queue._times
+        clocks = self._clocks
+        stats = self.stats
+        by_type = stats.by_type
+        id_bits = stats._id_bits
+        entries = codec_entries()
+        # outgoing-bucket cache: consecutive sends overwhelmingly target
+        # the same delivery time (now + 1), so remember that bucket and
+        # skip the dict probe. Sound because a bucket is only drained at
+        # its own time, after which now+1 has moved past it.
+        last = [-1.0, None]
+
+        def send(src: int, dst: int, msg: Message) -> None:
+            cls = msg.__class__
+            entry = entries.get(cls)
+            if entry is None:
+                entry = codec_entry(cls)  # validates Message-ness
+            fields = entry.count(msg)
+            stats.total_messages += 1
+            name = entry.name
+            by_type[name] = by_type.get(name, 0) + 1
+            if fields > stats.max_id_fields:
+                stats.max_id_fields = fields
+            stats.total_bits += MESSAGE_TYPE_BITS + fields * id_bits
+            t = queue._now + 1.0
+            seq = queue._seq
+            queue._seq = seq + 1
+            if last[0] == t:
+                last[1].append((t, seq, _DELIVER, dst, src, msg, clocks[src] + 1))
+            else:
+                bucket = buckets.get(t)
+                if bucket is None:
+                    bucket = [(t, seq, _DELIVER, dst, src, msg, clocks[src] + 1)]
+                    buckets[t] = bucket
+                    heappush(times, t)
+                else:
+                    bucket.append((t, seq, _DELIVER, dst, src, msg, clocks[src] + 1))
+                last[0] = t
+                last[1] = bucket
+            net._in_flight += 1
+
+        return send
+
     def _send(self, src: int, dst: int, msg: Message) -> None:
-        if not isinstance(msg, Message):
-            raise SimulationError(f"payload must be a Message, got {type(msg)!r}")
+        """General send: any delay model, scheduler label times, tracing,
+        and the mutation's legacy accounting."""
+        entry = codec_entries().get(msg.__class__)
+        if entry is None:
+            entry = codec_entry(msg.__class__)  # raises for non-Message
         queue = self.queue
         now = queue._now
         if self.scheduler is not None:
@@ -163,15 +289,22 @@ class Network:
             deliver_at = now + latency
             # FIFO repair: clamp to the last scheduled delivery on this link.
             floors = self._fifo_floor
-            key = (src, dst)
-            floor = floors.get(key, 0.0)
+            if self._dense_floors:
+                key = src * self.graph.n + dst
+                floor = floors[key]
+            else:
+                key = (src, dst)
+                floor = floors.get(key, 0.0)  # type: ignore[union-attr]
             if deliver_at < floor:
                 deliver_at = floor
-            floors[key] = deliver_at
+            floors[key] = deliver_at  # type: ignore[index]
         depth = self._clocks[src] + 1
         queue.push_raw(deliver_at, _DELIVER, dst, src, msg, depth)
         self._in_flight += 1
-        self.stats.record_send(msg)
+        if self._slow_accounting:
+            self.stats.record_send_legacy(msg)
+        else:
+            self.stats.record_send(msg)
         if self.trace is not None:
             self.trace.emit(TraceRecord(now, "send", src, dst, msg))
 
@@ -193,6 +326,11 @@ class Network:
         """Messages sent but not yet delivered."""
         return self._in_flight
 
+    @property
+    def processed(self) -> int:
+        """Events handled so far (across all chunks)."""
+        return self._processed
+
     # -- engine ----------------------------------------------------------------
 
     def run(self, max_events: int = 5_000_000) -> SimulationReport:
@@ -202,64 +340,203 @@ class Network:
         protocols in this library terminate by process, so hitting the cap
         is always a bug.
         """
-        if mutation_active("slow_event_loop"):
-            # known-bug switch: the perf gate must notice a hot-path
-            # regression, so this re-opens the seed-era loop shape
-            processed = self._run_mutated_slow(max_events)
-        elif self.trace is None and not self.monitors and self.scheduler is None:
-            processed = self._run_fast(max_events)
-        else:
-            # the general loop pops via the queue, so a PolicyQueue's
-            # policy-ordered pop_raw slots in transparently
-            processed = self._run_general(max_events)
-        # final monitor sweep at quiescence
+        processed = self.run_chunk(max_events)
+        if self.queue:
+            raise TerminationError(
+                f"event budget {max_events} exhausted; protocol livelock?"
+            )
+        return self.finish(processed)
+
+    def run_chunk(self, stop_at: int) -> int:
+        """Process events until quiescence or *stop_at* total events.
+
+        Returns the total processed so far (:attr:`processed`) — the
+        lockstep batch driver's stepping primitive. Loop shape is chosen
+        per chunk so an in-process mutation toggle behaves like a fresh
+        network would.
+        """
+        slow = mutation_active("slow_event_loop")
+        self._slow_accounting = slow
+        if slow:
+            return self._drive_mutated_slow(stop_at)
+        if self.trace is None and self.scheduler is None:
+            if type(self.queue) is BucketQueue:
+                if not self.monitors:
+                    return self._drive_fast_bucket(stop_at)
+                return self._drive_fast_bucket_monitored(stop_at)
+            if not self.monitors:
+                return self._drive_fast_heap(stop_at)
+        return self._drive_general(stop_at)
+
+    def finish(self, processed: int) -> SimulationReport:
+        """Final monitor sweep + report (quiescence bookkeeping)."""
         for monitor in self.monitors:
             monitor(self)  # type: ignore[operator]
         return SimulationReport.from_stats(self.stats, processed, quiescent=True)
 
-    def _run_fast(self, max_events: int) -> int:
-        """Inner loop with no tracing and no monitors attached."""
-        queue = self.queue
-        heap = queue._heap
-        processes = self.processes
+    def _handler_tables(self):
+        """Prebound per-node ``on_message`` / ``on_start`` tables for the
+        drive loops — flat lists under dense ids (indexing beats hashing),
+        dicts otherwise. Built per chunk, after fault wrapping."""
+        procs = self.processes
+        if self._dense:
+            return (
+                [p.on_message for p in procs.values()],
+                [p.on_start for p in procs.values()],
+            )
+        return (
+            {u: p.on_message for u, p in procs.items()},
+            {u: p.on_start for u, p in procs.items()},
+        )
+
+    def _drive_fast_bucket(self, stop_at: int) -> int:
+        """Fast loop over the bucket queue: no tracing, no monitors."""
+        queue: BucketQueue = self.queue  # type: ignore[assignment]
+        buckets = queue._buckets
+        times = queue._times
         clocks = self._clocks
         stats = self.stats
-        processed = 0
-        while heap:
-            time, _seq, kind, target, sender, payload, depth = heappop(heap)
-            queue._now = time
-            processed += 1
-            if processed > max_events:
-                raise TerminationError(
-                    f"event budget {max_events} exhausted; protocol livelock?"
-                )
-            proc = processes[target]
-            if kind is _START:
-                proc.on_start()
-            else:
-                self._in_flight -= 1
-                if depth > clocks[target]:
-                    clocks[target] = depth
-                # inlined MessageStats.record_delivery
-                stats.deliveries += 1
-                if depth > stats.max_causal_depth:
-                    stats.max_causal_depth = depth
-                if time > stats.max_sim_time:
-                    stats.max_sim_time = time
-                proc.on_message(sender, payload)
+        on_message, on_start = self._handler_tables()
+        processed = self._processed
+        cur = queue._cur
+        idx = queue._cur_idx
+        try:
+            while processed < stop_at:
+                if idx >= len(cur):
+                    if not times:
+                        break
+                    t = heappop(times)
+                    cur = buckets.pop(t)
+                    idx = 0
+                    queue._now = t
+                time, _seq, kind, target, sender, payload, depth = cur[idx]
+                idx += 1
+                processed += 1
+                if kind:  # DELIVER
+                    self._in_flight -= 1
+                    if depth > clocks[target]:
+                        clocks[target] = depth
+                    # inlined MessageStats.record_delivery
+                    stats.deliveries += 1
+                    if depth > stats.max_causal_depth:
+                        stats.max_causal_depth = depth
+                    if time > stats.max_sim_time:
+                        stats.max_sim_time = time
+                    on_message[target](sender, payload)
+                else:
+                    on_start[target]()
+        finally:
+            # keep the queue's cursor consistent for chunked callers and
+            # for error paths (budget exhaustion, handler exceptions)
+            queue._cur = cur
+            queue._cur_idx = idx
+            self._processed = processed
         return processed
 
-    def _run_mutated_slow(self, max_events: int) -> int:
+    def _drive_fast_bucket_monitored(self, stop_at: int) -> int:
+        """The fast bucket loop plus the periodic monitor sweep.
+
+        Monitors read live network state (queue length, in-flight count,
+        process attributes), so the loop syncs the queue cursor and the
+        processed count before every sweep; between sweeps the only
+        per-event cost over :meth:`_drive_fast_bucket` is one int
+        compare. Sweep cadence matches the general loop exactly: after
+        every ``monitor_interval``-th processed event.
+        """
+        queue: BucketQueue = self.queue  # type: ignore[assignment]
+        buckets = queue._buckets
+        times = queue._times
+        clocks = self._clocks
+        stats = self.stats
+        monitors = self.monitors
+        interval = self.monitor_interval
+        on_message, on_start = self._handler_tables()
+        processed = self._processed
+        next_sweep = (processed // interval + 1) * interval
+        cur = queue._cur
+        idx = queue._cur_idx
+        try:
+            while processed < stop_at:
+                if idx >= len(cur):
+                    if not times:
+                        break
+                    t = heappop(times)
+                    cur = buckets.pop(t)
+                    idx = 0
+                    queue._now = t
+                time, _seq, kind, target, sender, payload, depth = cur[idx]
+                idx += 1
+                processed += 1
+                if kind:  # DELIVER
+                    self._in_flight -= 1
+                    if depth > clocks[target]:
+                        clocks[target] = depth
+                    stats.deliveries += 1
+                    if depth > stats.max_causal_depth:
+                        stats.max_causal_depth = depth
+                    if time > stats.max_sim_time:
+                        stats.max_sim_time = time
+                    on_message[target](sender, payload)
+                else:
+                    on_start[target]()
+                if processed == next_sweep:
+                    queue._cur = cur
+                    queue._cur_idx = idx
+                    self._processed = processed
+                    for monitor in monitors:
+                        monitor(self)  # type: ignore[operator]
+                    cur = queue._cur
+                    idx = queue._cur_idx
+                    next_sweep += interval
+        finally:
+            queue._cur = cur
+            queue._cur_idx = idx
+            self._processed = processed
+        return processed
+
+    def _drive_fast_heap(self, stop_at: int) -> int:
+        """Fast loop over the binary heap (random delay models)."""
+        queue = self.queue
+        heap = queue._heap
+        clocks = self._clocks
+        stats = self.stats
+        on_message, on_start = self._handler_tables()
+        processed = self._processed
+        try:
+            while heap and processed < stop_at:
+                time, _seq, kind, target, sender, payload, depth = heappop(heap)
+                queue._now = time
+                processed += 1
+                if kind:  # DELIVER
+                    self._in_flight -= 1
+                    if depth > clocks[target]:
+                        clocks[target] = depth
+                    stats.deliveries += 1
+                    if depth > stats.max_causal_depth:
+                        stats.max_causal_depth = depth
+                    if time > stats.max_sim_time:
+                        stats.max_sim_time = time
+                    on_message[target](sender, payload)
+                else:
+                    on_start[target]()
+        finally:
+            self._processed = processed
+        return processed
+
+    def _drive_mutated_slow(self, stop_at: int) -> int:
         """``slow_event_loop`` mutation: the pre-PR 1 loop, resurrected.
 
         Undoes the hot-path overhaul without touching semantics — one
         :class:`Event` object is materialized per pop, clock/stat updates
-        go through method calls, and every delivery recomputes the
-        message's identity-field count and bit size from scratch (the
-        accounting :class:`~repro.sim.metrics.MessageStats` memoizes).
-        All metrics stay byte-identical to the fast path; only wall-clock
-        time regresses. Exists solely so the perf suite can prove its
-        time gate is regression-sensitive (mirroring how
+        go through method calls, every delivery recomputes the message's
+        identity-field count and bit size from scratch (the accounting
+        :mod:`repro.sim.codec` compiles away), and sends charge the
+        ``field_values``-based legacy accounting (see
+        :meth:`~repro.sim.metrics.MessageStats.record_send_legacy`; a
+        mutated network also keeps the binary heap instead of the bucket
+        queue). All metrics stay byte-identical to the fast path; only
+        wall-clock time regresses. Exists solely so the perf suite can
+        prove its time gate is regression-sensitive (mirroring how
         ``skip_cutter_gate`` proves the exploration oracle works).
         """
         from .messages import message_bits
@@ -269,69 +546,82 @@ class Network:
         monitors = self.monitors
         monitor_interval = self.monitor_interval
         n = self.graph.n
-        processed = 0
-        while queue:
-            event = Event(*queue.pop_raw())
-            processed += 1
-            if processed > max_events:
-                raise TerminationError(
-                    f"event budget {max_events} exhausted; protocol livelock?"
-                )
-            proc = self.processes[event.target]
-            if event.kind is _START:
-                if trace is not None:
-                    trace.emit(TraceRecord(event.time, "start", -1, event.target, None))
-                proc.on_start()
-            else:
-                self._in_flight -= 1
-                if event.depth > self._clocks[event.target]:
-                    self._clocks[event.target] = event.depth
-                self.stats.record_delivery(event.depth, event.time)
-                # seed-era bit accounting: recomputed per delivery (and
-                # discarded — record_send already charged the memoized
-                # cost, so totals are unchanged)
-                message_bits(event.payload, n)
-                if trace is not None:
-                    trace.emit(
-                        TraceRecord(
-                            event.time, "deliver", event.sender, event.target,
-                            event.payload,
+        processed = self._processed
+        try:
+            while queue and processed < stop_at:
+                event = Event(*queue.pop_raw())
+                processed += 1
+                proc = self.processes[event.target]
+                if event.kind is _START:
+                    if trace is not None:
+                        trace.emit(
+                            TraceRecord(event.time, "start", -1, event.target, None)
                         )
-                    )
-                proc.on_message(event.sender, event.payload)
-            if monitors and processed % monitor_interval == 0:
-                for monitor in monitors:
-                    monitor(self)  # type: ignore[operator]
+                    proc.on_start()
+                else:
+                    self._in_flight -= 1
+                    if event.depth > self._clocks[event.target]:
+                        self._clocks[event.target] = event.depth
+                    self.stats.record_delivery(event.depth, event.time)
+                    # seed-era bit accounting: recomputed per delivery (and
+                    # discarded — record_send already charged the memoized
+                    # cost, so totals are unchanged)
+                    message_bits(event.payload, n)
+                    if trace is not None:
+                        trace.emit(
+                            TraceRecord(
+                                event.time, "deliver", event.sender, event.target,
+                                event.payload,
+                            )
+                        )
+                    proc.on_message(event.sender, event.payload)
+                if monitors and processed % monitor_interval == 0:
+                    for monitor in monitors:
+                        monitor(self)  # type: ignore[operator]
+        finally:
+            self._processed = processed
         return processed
 
-    def _run_general(self, max_events: int) -> int:
-        """Inner loop that also emits trace records and runs monitors."""
+    def _drive_general(self, stop_at: int) -> int:
+        """Raw-tuple loop with the thin trace/monitor adapter bolted on.
+
+        Pops via the queue (so a :class:`PolicyQueue`'s policy-ordered
+        ``pop_raw`` and the bucket queue both slot in transparently); the
+        only additions over the fast loops are the two ``trace.emit``
+        calls and the periodic monitor sweep.
+        """
         queue = self.queue
+        pop_raw = queue.pop_raw
         trace = self.trace
         monitors = self.monitors
         monitor_interval = self.monitor_interval
-        processed = 0
-        while queue:
-            time, _seq, kind, target, sender, payload, depth = queue.pop_raw()
-            processed += 1
-            if processed > max_events:
-                raise TerminationError(
-                    f"event budget {max_events} exhausted; protocol livelock?"
-                )
-            proc = self.processes[target]
-            if kind is _START:
-                if trace is not None:
-                    trace.emit(TraceRecord(time, "start", -1, target, None))
-                proc.on_start()
-            else:
-                self._in_flight -= 1
-                if depth > self._clocks[target]:
-                    self._clocks[target] = depth
-                self.stats.record_delivery(depth, time)
-                if trace is not None:
-                    trace.emit(TraceRecord(time, "deliver", sender, target, payload))
-                proc.on_message(sender, payload)
-            if monitors and processed % monitor_interval == 0:
-                for monitor in monitors:
-                    monitor(self)  # type: ignore[operator]
+        clocks = self._clocks
+        stats = self.stats
+        on_message, on_start = self._handler_tables()
+        processed = self._processed
+        try:
+            while queue and processed < stop_at:
+                time, _seq, kind, target, sender, payload, depth = pop_raw()
+                processed += 1
+                if kind:  # DELIVER
+                    self._in_flight -= 1
+                    if depth > clocks[target]:
+                        clocks[target] = depth
+                    stats.deliveries += 1
+                    if depth > stats.max_causal_depth:
+                        stats.max_causal_depth = depth
+                    if time > stats.max_sim_time:
+                        stats.max_sim_time = time
+                    if trace is not None:
+                        trace.emit(TraceRecord(time, "deliver", sender, target, payload))
+                    on_message[target](sender, payload)
+                else:
+                    if trace is not None:
+                        trace.emit(TraceRecord(time, "start", -1, target, None))
+                    on_start[target]()
+                if monitors and processed % monitor_interval == 0:
+                    for monitor in monitors:
+                        monitor(self)  # type: ignore[operator]
+        finally:
+            self._processed = processed
         return processed

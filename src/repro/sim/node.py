@@ -68,6 +68,10 @@ class Process:
     def __init__(self, ctx: NodeContext) -> None:
         self.ctx = ctx
         self.terminated = False
+        # prebound alias: ``self.send(...)`` goes straight to the context
+        # send without the extra method frame. Fault wrappers that rebind
+        # ``ctx.send`` rebind this alias too (see repro.sim.faults).
+        self.send = ctx.send
 
     # -- identity sugar --------------------------------------------------
 
@@ -79,13 +83,36 @@ class Process:
     def neighbors(self) -> tuple[int, ...]:
         return self.ctx.neighbors
 
-    def send(self, dst: int, msg: Message) -> None:
+    def send(self, dst: int, msg: Message) -> None:  # pragma: no cover
+        # shadowed by the prebound instance alias set in __init__; kept so
+        # the class surface documents the call signature
         self.ctx.send(dst, msg)
 
     def halt(self) -> None:
         """Mark this node as protocol-terminated (for post-run assertions;
         the simulator itself stops at quiescence)."""
         self.terminated = True
+
+    # -- dispatch ---------------------------------------------------------
+
+    #: message-class -> unbound handler; protocol classes fill this in
+    #: after their class body and route ``on_message`` through it.
+    _DISPATCH: dict[type, Callable] = {}
+
+    def _dispatch_lookup(self, msg: Message) -> Callable | None:
+        """Resolve *msg* through the class's ``_DISPATCH`` table when the
+        exact class missed: walk the message's mro (isinstance semantics
+        for message subclasses) and cache the hit under the exact class so
+        the next delivery is a single dict get. Returns ``None`` for a
+        genuinely unknown message — the caller owns the error (or the
+        deliberate silent drop, for wave protocols)."""
+        table = type(self)._DISPATCH
+        for base in msg.__class__.__mro__[1:]:
+            handler = table.get(base)
+            if handler is not None:
+                table[msg.__class__] = handler
+                return handler
+        return None
 
     # -- handlers ---------------------------------------------------------
 

@@ -30,7 +30,6 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from bisect import insort
-from collections import deque
 from collections.abc import Sequence
 from operator import itemgetter
 from typing import Any
@@ -138,19 +137,32 @@ class StarveNodeScheduler(SchedulerPolicy):
         return 0  # only the victim's events remain: oldest first
 
 
+#: Flat-indexed link storage is bounded: n*n slots must stay small enough
+#: that a mostly-empty list is cheaper than a dict (8 MB of pointers at
+#: the cap). Larger/sparse id spaces fall back to dict keying.
+_MAX_DENSE_SLOTS = 1 << 20
+
+
 class PolicyQueue(EventQueue):
     """Event queue whose delivery order is a policy's, not the clock's.
 
     Structure enforces admissibility: DELIVER events live in one FIFO
-    deque per directed link (only the head of each deque is eligible),
-    START events are individually eligible. The policy sees the eligible
-    heads in ascending send order and picks one; virtual time advances by
-    one step per pop, so ``now`` stays monotone and the metrics layer
-    needs no special cases.
+    ring buffer per directed link (only the head of each buffer is
+    eligible), START events are individually eligible. The policy sees
+    the eligible heads in ascending send order and picks one; virtual
+    time advances by one step per pop, so ``now`` stays monotone and the
+    metrics layer needs no special cases.
 
     Scheduled times passed to :meth:`push_raw` are ignored for ordering
     (and the in-the-past check is waived — times are labels here, not
     priorities).
+
+    Per-link storage (engine v2): with *n* given (node ids dense in
+    ``0..n-1``), a link's FIFO lives in a flat list indexed by the dense
+    link id ``sender * n + target`` — each slot a ``[events, head]``
+    ring (append at the tail, advance ``head`` on delivery, slot freed
+    when drained). Without *n* (or for huge/sparse id spaces) the same
+    rings are dict-keyed by ``(sender, target)``.
 
     The eligible-head list is maintained *incrementally* (the perf
     suite's ``policy_queue_ops`` micro-kernel guards this): the global
@@ -162,16 +174,23 @@ class PolicyQueue(EventQueue):
     step for L concurrent links.
     """
 
-    __slots__ = ("policy", "_links", "_heads", "_size")
+    __slots__ = ("policy", "_n", "_rings", "_links", "_heads", "_size")
 
     #: sort key of a head entry: the global send sequence number
     _HEAD_SEQ = staticmethod(itemgetter(1))
 
-    def __init__(self, policy: SchedulerPolicy) -> None:
+    def __init__(self, policy: SchedulerPolicy, n: int | None = None) -> None:
         super().__init__()
         self.policy = policy
-        #: per-directed-link FIFO queues; a present link is never empty
-        self._links: dict[tuple[int, int], deque] = {}
+        if n is not None and 0 < n * n <= _MAX_DENSE_SLOTS:
+            self._n = n
+            #: dense-link-id -> [events, head] ring; None = idle link
+            self._rings: list[list | None] | None = [None] * (n * n)
+        else:
+            self._n = 0
+            self._rings = None
+        #: fallback ring storage keyed by directed link (sparse ids)
+        self._links: dict[tuple[int, int], list] = {}
         #: eligible heads (one per link + pending STARTs), ascending seq
         self._heads: list[tuple] = []
         self._size = 0
@@ -197,12 +216,22 @@ class PolicyQueue(EventQueue):
         if kind is EventKind.START:
             self._heads.append(entry)
         else:
-            dq = self._links.get((sender, target))
-            if dq is None:
-                self._links[(sender, target)] = deque((entry,))
-                self._heads.append(entry)
+            rings = self._rings
+            if rings is not None:
+                lid = sender * self._n + target
+                ring = rings[lid]
+                if ring is None:
+                    rings[lid] = [[entry], 0]
+                    self._heads.append(entry)
+                else:
+                    ring[0].append(entry)
             else:
-                dq.append(entry)
+                ring = self._links.get((sender, target))
+                if ring is None:
+                    self._links[(sender, target)] = [[entry], 0]
+                    self._heads.append(entry)
+                else:
+                    ring[0].append(entry)
         self._size += 1
         return seq
 
@@ -226,16 +255,37 @@ class PolicyQueue(EventQueue):
             )
         entry = heads.pop(index)
         if entry[2] is not EventKind.START:
-            link = (entry[4], entry[3])
-            dq = self._links[link]
-            dq.popleft()
-            if dq:
-                # the successor head's seq is larger than the popped
-                # entry's but otherwise arbitrary among the remaining
-                # heads — the one place an ordered insert is needed
-                insort(heads, dq[0], key=self._HEAD_SEQ)
+            rings = self._rings
+            if rings is not None:
+                lid = entry[4] * self._n + entry[3]
+                ring = rings[lid]
+                events, head = ring
+                head += 1
+                if head < len(events):
+                    if head >= 512:
+                        # compact the delivered prefix of a long-busy link
+                        del events[:head]
+                        head = 0
+                    ring[1] = head
+                    # the successor head's seq is larger than the popped
+                    # entry's but otherwise arbitrary among the remaining
+                    # heads — the one place an ordered insert is needed
+                    insort(heads, events[head], key=self._HEAD_SEQ)
+                else:
+                    rings[lid] = None
             else:
-                del self._links[link]
+                link = (entry[4], entry[3])
+                ring = self._links[link]
+                events, head = ring
+                head += 1
+                if head < len(events):
+                    if head >= 512:
+                        del events[:head]
+                        head = 0
+                    ring[1] = head
+                    insort(heads, events[head], key=self._HEAD_SEQ)
+                else:
+                    del self._links[link]
         self._size -= 1
         self._now += 1.0
         # virtual step time replaces the scheduled label time

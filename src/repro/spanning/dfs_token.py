@@ -73,21 +73,34 @@ class DfsTreeProcess(Process):
             self._forward()
 
     def on_message(self, sender: int, msg: Message) -> None:
-        if isinstance(msg, Token):
-            if self.visited:
-                self.send(sender, Back(accept=False))
-            else:
-                self.visited = True
-                self.parent = sender
-                self._forward()
-        elif isinstance(msg, Back):
-            if msg.accept:
-                self.children.add(sender)
+        handler = self._DISPATCH.get(msg.__class__) or self._dispatch_lookup(msg)
+        if handler is not None:  # unknown messages are silently dropped
+            handler(self, sender, msg)
+
+    def _on_token(self, sender: int, msg: Token) -> None:
+        if self.visited:
+            self.send(sender, Back(accept=False))
+        else:
+            self.visited = True
+            self.parent = sender
             self._forward()
-        elif isinstance(msg, DfsDone):
-            for c in self.children:
-                self.send(c, DfsDone())
-            self.halt()
+
+    def _on_back(self, sender: int, msg: Back) -> None:
+        if msg.accept:
+            self.children.add(sender)
+        self._forward()
+
+    def _on_done(self, sender: int, msg: DfsDone) -> None:
+        for c in self.children:
+            self.send(c, DfsDone())
+        self.halt()
+
+
+DfsTreeProcess._DISPATCH = {
+    Token: DfsTreeProcess._on_token,
+    Back: DfsTreeProcess._on_back,
+    DfsDone: DfsTreeProcess._on_done,
+}
 
 
 def make_dfs_factory(initiator: int):

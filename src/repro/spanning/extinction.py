@@ -97,15 +97,15 @@ class ExtinctionProcess(Process):
             self._adopt(self.node_id, parent=None)
 
     def on_message(self, sender: int, msg: Message) -> None:
-        if isinstance(msg, ElectWave):
-            self._on_wave(sender, msg)
-        elif isinstance(msg, ElectEcho):
-            self._on_echo(sender, msg)
-        elif isinstance(msg, ElectDone):
-            self.done = True
-            for c in self.children:
-                self.send(c, ElectDone())
-            self.halt()
+        handler = self._DISPATCH.get(msg.__class__) or self._dispatch_lookup(msg)
+        if handler is not None:  # unknown messages are silently dropped
+            handler(self, sender, msg)
+
+    def _on_done(self, sender: int, msg: ElectDone) -> None:
+        self.done = True
+        for c in self.children:
+            self.send(c, ElectDone())
+        self.halt()
 
     def _on_wave(self, sender: int, msg: ElectWave) -> None:
         if self.current is None or msg.initiator < self.current:
@@ -126,3 +126,10 @@ class ExtinctionProcess(Process):
         self.pending -= 1
         if self.pending == 0:
             self._complete()
+
+
+ExtinctionProcess._DISPATCH = {
+    ElectWave: ExtinctionProcess._on_wave,
+    ElectEcho: ExtinctionProcess._on_echo,
+    ElectDone: ExtinctionProcess._on_done,
+}

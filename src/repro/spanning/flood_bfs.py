@@ -87,21 +87,34 @@ class EchoTreeProcess(Process):
             self._join(parent=None)
 
     def on_message(self, sender: int, msg: Message) -> None:
-        if isinstance(msg, Wave):
-            if not self.joined:
-                self._join(parent=sender)
-            else:
-                self.send(sender, EchoMsg(accept=False))
-        elif isinstance(msg, EchoMsg):
-            if msg.accept:
-                self.children.add(sender)
-            self.pending.satisfy(sender)
-            if self.pending.drained:
-                self._complete()
-        elif isinstance(msg, Done):
-            for c in self.children:
-                self.send(c, Done())
-            self.halt()
+        handler = self._DISPATCH.get(msg.__class__) or self._dispatch_lookup(msg)
+        if handler is not None:  # unknown messages are silently dropped
+            handler(self, sender, msg)
+
+    def _on_wave(self, sender: int, msg: Wave) -> None:
+        if not self.joined:
+            self._join(parent=sender)
+        else:
+            self.send(sender, EchoMsg(accept=False))
+
+    def _on_echo(self, sender: int, msg: EchoMsg) -> None:
+        if msg.accept:
+            self.children.add(sender)
+        self.pending.satisfy(sender)
+        if self.pending.drained:
+            self._complete()
+
+    def _on_done(self, sender: int, msg: Done) -> None:
+        for c in self.children:
+            self.send(c, Done())
+        self.halt()
+
+
+EchoTreeProcess._DISPATCH = {
+    Wave: EchoTreeProcess._on_wave,
+    EchoMsg: EchoTreeProcess._on_echo,
+    Done: EchoTreeProcess._on_done,
+}
 
 
 def make_echo_factory(initiator: int):

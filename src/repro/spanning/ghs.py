@@ -185,25 +185,10 @@ class GhsProcess(Process):
 
     def _dispatch(self, sender: int, msg: Message) -> bool:
         """Handle *msg*; return False to defer."""
-        if isinstance(msg, Connect):
-            return self._on_connect(sender, msg)
-        if isinstance(msg, Initiate):
-            return self._on_initiate(sender, msg)
-        if isinstance(msg, Test):
-            return self._on_test(sender, msg)
-        if isinstance(msg, Accept):
-            return self._on_accept(sender)
-        if isinstance(msg, Reject):
-            return self._on_reject(sender)
-        if isinstance(msg, Report):
-            return self._on_report(sender, msg)
-        if isinstance(msg, ChangeRoot):
-            self._change_root()
-            return True
-        if isinstance(msg, GhsDone):
-            self._on_done(sender)
-            return True
-        raise ProtocolError(f"GHS got unknown message {msg!r}")
+        handler = self._DISPATCH.get(msg.__class__) or self._dispatch_lookup(msg)
+        if handler is None:
+            raise ProtocolError(f"GHS got unknown message {msg!r}")
+        return handler(self, sender, msg)
 
     # -- handlers (classic pseudocode) ----------------------------------------
 
@@ -348,6 +333,20 @@ class GhsProcess(Process):
         for c in self.children:
             self.send(c, GhsDone())
         self.halt()
+
+
+# Dispatch table (engine v2): handlers return the bool deferral verdict;
+# always-handled messages get adapters that return True.
+GhsProcess._DISPATCH = {
+    Connect: GhsProcess._on_connect,
+    Initiate: GhsProcess._on_initiate,
+    Test: GhsProcess._on_test,
+    Accept: lambda self, sender, msg: self._on_accept(sender),
+    Reject: lambda self, sender, msg: self._on_reject(sender),
+    Report: GhsProcess._on_report,
+    ChangeRoot: lambda self, sender, msg: (self._change_root(), True)[1],
+    GhsDone: lambda self, sender, msg: (self._on_done(sender), True)[1],
+}
 
 
 def effective_weights(graph: Graph) -> dict[int, dict[int, Weight]]:

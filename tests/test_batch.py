@@ -1,0 +1,244 @@
+"""The multi-seed batch runner: batched and per-cell execution must be
+byte-identical — across algorithms, scheduler policies and fault plans —
+and the lockstep driver must reproduce solo-run reports exactly. This is
+the acceptance contract of the engine-v2 batching layer: a record's
+bytes never depend on which drive path produced it."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis.batch import CellTemplate, group_cells, maybe_run_batched, run_cells
+from repro.analysis.executor import (
+    CachingExecutor,
+    RunSpec,
+    SerialExecutor,
+    execute_cell,
+)
+from repro.analysis.harness import SweepSpec, run_sweep
+from repro.errors import AnalysisError, ReproError
+from repro.exploration import artifact_bytes, corpus_paths, explore, load_artifact
+from repro.exploration.probe import probe_cell, probe_cells
+from repro.graphs.generators import make_family
+from repro.mdst.algorithm import build_mdst
+from repro.sim.batch import run_lockstep
+from repro.spanning.provider import build_spanning_tree
+from tests.test_exploration import CORPUS_DIR
+
+
+def record_bytes(records):
+    return [r.to_json_dict() for r in records]
+
+
+class TestGrouping:
+    def test_seed_varying_cells_group_globally(self):
+        a = [RunSpec(family="gnp_sparse", n=8, seed=s) for s in (0, 1, 2)]
+        b = [RunSpec(family="gnp_sparse", n=12, seed=s) for s in (0, 1)]
+        interleaved = [a[0], b[0], a[1], b[1], a[2]]
+        groups = group_cells(interleaved)
+        assert groups == [[0, 2, 4], [1, 3]]
+
+    def test_singletons_are_their_own_group(self):
+        cells = [
+            RunSpec(family="gnp_sparse", n=8, seed=0),
+            RunSpec(family="gnp_sparse", n=8, seed=0, scheduler="lifo"),
+        ]
+        assert group_cells(cells) == [[0], [1]]
+
+    def test_run_cells_rejects_mixed_groups(self):
+        cells = [
+            RunSpec(family="gnp_sparse", n=8, seed=0),
+            RunSpec(family="gnp_sparse", n=12, seed=1),
+        ]
+        with pytest.raises(AnalysisError, match="differ only in seed"):
+            run_cells(cells)
+
+    def test_run_cells_empty_is_empty(self):
+        assert run_cells([]) == []
+
+
+class TestByteIdentity:
+    """Batched records == per-cell records, byte for byte."""
+
+    @pytest.mark.parametrize("algorithm", ["blin_butelle", "fr_local"])
+    @pytest.mark.parametrize("scheduler", ["none", "lifo", "random"])
+    def test_algorithm_x_scheduler(self, algorithm, scheduler):
+        cells = [
+            RunSpec(
+                family="gnp_sparse",
+                n=10,
+                seed=s,
+                algorithm=algorithm,
+                scheduler=scheduler,
+            )
+            for s in range(4)
+        ]
+        batched = run_cells(cells)
+        serial = [execute_cell(c) for c in cells]
+        assert record_bytes(batched) == record_bytes(serial)
+
+    @pytest.mark.parametrize("fault", ["crash_one", "lossy_light", "crash_storm"])
+    def test_fault_plans_including_stalls(self, fault):
+        cells = [
+            RunSpec(family="gnp_sparse", n=10, seed=s, fault=fault)
+            for s in range(4)
+        ]
+        batched = run_cells(cells)
+        serial = [execute_cell(c) for c in cells]
+        assert record_bytes(batched) == record_bytes(serial)
+
+    def test_trivial_instances_batch(self):
+        cells = [RunSpec(family="gnp_sparse", n=2, seed=s) for s in range(3)]
+        batched = run_cells(cells)
+        serial = [execute_cell(c) for c in cells]
+        assert record_bytes(batched) == record_bytes(serial)
+
+    def test_random_delay_cells_batch(self):
+        cells = [
+            RunSpec(family="geometric", n=10, seed=s, delay="exponential")
+            for s in range(3)
+        ]
+        batched = run_cells(cells)
+        serial = [execute_cell(c) for c in cells]
+        assert record_bytes(batched) == record_bytes(serial)
+
+
+class TestExecutorIntegration:
+    GRID = SweepSpec(
+        families=("gnp_sparse",),
+        sizes=(8, 12),
+        seeds=(0, 1, 2),
+        algorithms=("blin_butelle", "fr_local"),
+        schedulers=("none", "lifo"),
+        faults=("none", "crash_one"),
+    )
+
+    def test_serial_executor_batched_vs_plain(self):
+        cells = self.GRID.cells()
+        batched = SerialExecutor().run(cells)
+        plain = SerialExecutor(batch=False).run(cells)
+        assert record_bytes(batched) == record_bytes(plain)
+
+    def test_run_sweep_is_batched_by_default_and_unchanged(self):
+        spec = SweepSpec(sizes=(8,), seeds=(0, 1, 2))
+        assert record_bytes(run_sweep(spec)) == record_bytes(
+            SerialExecutor(batch=False).run(spec.cells())
+        )
+
+    def test_cache_entries_interchangeable(self, tmp_path):
+        """A cache warmed by the batched path must serve the per-cell
+        path verbatim, and vice versa (same schema, same bytes)."""
+        cells = [RunSpec(family="gnp_sparse", n=8, seed=s) for s in range(3)]
+        warm_batched = CachingExecutor(SerialExecutor(), tmp_path / "c1")
+        first = warm_batched.run(cells)
+        served = CachingExecutor(SerialExecutor(batch=False), tmp_path / "c1").run(
+            cells
+        )
+        assert record_bytes(first) == record_bytes(served)
+
+        warm_plain = CachingExecutor(SerialExecutor(batch=False), tmp_path / "c2")
+        first = warm_plain.run(cells)
+        served = CachingExecutor(SerialExecutor(), tmp_path / "c2").run(cells)
+        assert record_bytes(first) == record_bytes(served)
+
+    def test_opt_out_runner_stays_per_cell(self):
+        calls = []
+
+        def runner(spec):
+            calls.append(spec.seed)
+            return execute_cell(spec)
+
+        cells = [RunSpec(family="gnp_sparse", n=8, seed=s) for s in range(3)]
+        records = maybe_run_batched(runner, cells)
+        assert calls == [0, 1, 2]
+        assert record_bytes(records) == record_bytes(
+            [execute_cell(c) for c in cells]
+        )
+
+
+class TestLockstep:
+    def _build(self, seed):
+        graph = make_family("gnp_sparse", 16, seed=seed)
+        startup = build_spanning_tree(graph, method="echo", seed=seed)
+        return build_mdst(graph, startup.tree, seed=seed)
+
+    def test_lockstep_reports_match_solo_runs(self):
+        solo = []
+        for seed in range(3):
+            net, finalize = self._build(seed)
+            solo.append(dataclasses.asdict(finalize(net.run())))
+        nets, finals = [], []
+        for seed in range(3):
+            net, finalize = self._build(seed)
+            nets.append(net)
+            finals.append(finalize)
+        # a tiny chunk forces genuine interleaving between the replicas
+        reports = run_lockstep(nets, chunk=7)
+        batched = [
+            dataclasses.asdict(fin(rep)) for fin, rep in zip(finals, reports)
+        ]
+        assert batched == solo
+
+    def test_chunk_must_be_positive(self):
+        with pytest.raises(ValueError, match="chunk must be >= 1"):
+            run_lockstep([], chunk=0)
+
+    def test_empty_batch(self):
+        assert run_lockstep([]) == []
+
+
+class TestProbeBatching:
+    def test_probe_cells_matches_probe_cell_on_clean_groups(self):
+        cells = [
+            RunSpec(family="gnp_sparse", n=8, seed=s, scheduler="lifo")
+            for s in range(3)
+        ]
+        assert record_bytes(probe_cells(cells)) == record_bytes(
+            [probe_cell(c) for c in cells]
+        )
+
+    def test_corpus_artifacts_replay_identically_through_batched_path(self):
+        """Seed-varied corpus schedules: the batched probe path must
+        produce the stored verdict bytes exactly as the per-cell path
+        does (the exploration acceptance contract, batched edition)."""
+        paths = corpus_paths(CORPUS_DIR)
+        assert paths, "regression corpus must not be empty"
+        for path in paths:
+            cell, stored, _note = load_artifact(path)
+            seed_varied = [
+                dataclasses.replace(cell, seed=seed)
+                for seed in (cell.seed, cell.seed + 1, cell.seed + 2)
+            ]
+            batched = explore(seed_varied, executor=SerialExecutor(probe_cell))
+            plain = explore(
+                seed_varied, executor=SerialExecutor(probe_cell, batch=False)
+            )
+            assert [artifact_bytes(r.verdict) for r in batched] == [
+                artifact_bytes(r.verdict) for r in plain
+            ]
+            assert artifact_bytes(batched[0].verdict) == artifact_bytes(stored)
+
+
+class TestTemplate:
+    def test_template_run_is_run_single(self):
+        spec = RunSpec(family="geometric", n=12, seed=3, scheduler="fifo")
+        from repro.analysis.harness import run_single
+
+        direct = run_single(
+            "geometric", 12, 3, scheduler="fifo"
+        ).to_json_dict()
+        assert CellTemplate(spec).run(3).to_json_dict() == direct
+
+    def test_template_validates_eagerly(self):
+        """Construction raises exactly what the per-cell path would raise
+        for the same bad spec — just before any replica is built."""
+        with pytest.raises(ValueError, match="unknown delay model"):
+            CellTemplate(RunSpec(family="gnp_sparse", n=8, seed=0, delay="warp"))
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            CellTemplate(
+                RunSpec(family="gnp_sparse", n=8, seed=0, scheduler="chaos")
+            )
+        with pytest.raises(ReproError):
+            CellTemplate(
+                RunSpec(family="gnp_sparse", n=8, seed=0, algorithm="nope")
+            )

@@ -18,12 +18,13 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_LIST_GOLDEN = """\
 bench suites:
 
-  smoke   6 benches  seconds-scale regression gate (runs on every CI push)
-  core   17 benches  the paper's t1-t9 experiment workloads + engine benches
-  full   18 benches  every registered bench
+  smoke   8 benches  seconds-scale regression gate (runs on every CI push)
+  core   19 benches  the paper's t1-t9 experiment workloads + engine benches
+  full   20 benches  every registered bench
 
 benches (suites in brackets):
 
+  batch_runner       micro  [smoke,core]  multi-seed batch execution of one cell group (8 seeds)
   campaign_tiny      sweep  [smoke,core]  tiny built-in campaign incl. fault + scheduler regimes
   echo_wave          micro  [smoke,core]  one echo spanning wave, n=96 (loop-dominated hot path)
   event_queue_ops    micro  [smoke,core]  raw-tuple heap push/pop churn (the simulator inner loop)
@@ -31,6 +32,7 @@ benches (suites in brackets):
   full_protocol      micro  [smoke,core]  full MDegST protocol on G(64, 0.1) — headline events/sec
   ghs_startup        micro  [core]  GHS spanning-tree construction, the heaviest startup
   gnp_generation     micro  [core]  numpy-vectorized connected G(n, p) generation
+  message_codec      micro  [smoke,core]  message encode/decode round-trip + compiled field count
   policy_queue_ops   micro  [smoke,core]  PolicyQueue eligible-head selection under a random policy
   smoke_sweep        sweep  [smoke]  both algorithms across small sparse/geometric instances
   t1_degree_quality  micro  [core]  T1: final degree vs ground truth (claim C1)
@@ -77,7 +79,7 @@ class TestBenchRun:
         base = load_baseline(out)
         assert base.suite == "smoke"
         assert base.notes == "test point"
-        assert len(base.results) == 6
+        assert len(base.results) == 8
         assert base.result("full_protocol").derived["events_per_sec"] > 0
 
     def test_work_section_byte_identical_serial_jobs2_warm_cache(
@@ -177,6 +179,22 @@ class TestBenchRun:
                    "--compare", "whatever.json"])
         assert rc == 2
         assert "tolerance must be >= 0" in capsys.readouterr().err
+
+
+class TestBenchProfile:
+    def test_profile_prints_hot_functions(self, capsys):
+        rc = main(["bench", "--profile", "message_codec", "--profile-lines", "5"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "profile: bench 'message_codec' (micro)" in out
+        assert "cumulative" in out  # the pstats table header
+
+    def test_profile_unknown_bench_is_friendly(self, capsys):
+        rc = main(["bench", "--profile", "nope"])
+        assert rc == 2
+        err = capsys.readouterr().err
+        assert "unknown bench 'nope'" in err
+        assert "full_protocol" in err  # registered names are listed
 
 
 class TestBenchErrors:

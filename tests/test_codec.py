@@ -1,0 +1,169 @@
+"""The engine-v2 message codec: exact round-trips, compiled field
+counting equivalent to ``Message.field_values``, dense first-seen codes,
+and the payload-validation error the network send path relies on."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.algorithms.fr_local import ImproveOrder
+from repro.errors import SimulationError
+from repro.mdst.messages import (
+    BfsWave,
+    CousinReply,
+    Cut,
+    DegreeReport,
+    ImproveReport,
+    MoveRoot,
+    MoveRootAck,
+    Search,
+    Terminate,
+    WaveEcho,
+)
+from repro.protocol.exchange import ChildAck, ChildMsg, ExchangeDone, FlipBack, Update
+from repro.sim.codec import (
+    codec_entry,
+    decode_message,
+    encode_message,
+    registered_codes,
+)
+from repro.sim.messages import Message
+from repro.spanning.dfs_token import Back, DfsDone, Token
+from repro.spanning.extinction import ElectDone, ElectEcho, ElectWave
+from repro.spanning.flood_bfs import Done, EchoMsg, Wave
+from repro.spanning.ghs import (
+    Accept,
+    ChangeRoot,
+    Connect,
+    GhsDone,
+    Initiate,
+    Reject,
+    Report,
+    Test as GhsTest,
+)
+
+#: one representative instance per protocol message type, including the
+#: None-heavy variants that exercise the count's skip logic
+SAMPLES = [
+    Search(reset=False, single=True),
+    Search(reset=True, single=False),
+    DegreeReport(deg=5, node=12, count=2),
+    DegreeReport(deg=5, node=12, count=None, elig_deg=3, elig_node=7),
+    MoveRoot(k=4, target=9, round=3),
+    MoveRoot(k=4, target=9),
+    MoveRootAck(),
+    Cut(k=4, cutter=7),
+    BfsWave(k=4, frag_root=7, frag_child=3, tree=True),
+    BfsWave(k=4, frag_root=7, frag_child=3),
+    CousinReply(frag_root=7, frag_child=3, deg=4),
+    WaveEcho(local=2, remote=11, deg=5),
+    WaveEcho(local=None, remote=None, deg=None),
+    ImproveReport(improved=True),
+    Terminate(),
+    Update(local=1, remote=2),
+    ChildAck(),
+    ExchangeDone(),
+    ImproveOrder(k=3, target=5),
+    Wave(initiator=3),
+    EchoMsg(accept=True),
+    Connect(level=0),
+    Initiate(level=1, fragment=(2.0, 0, 1), find=True),
+    Report(best=None),
+    Accept(),
+    Reject(),
+]
+
+ALL_CLASSES = [
+    Search, DegreeReport, MoveRoot, MoveRootAck, Cut, BfsWave, CousinReply,
+    WaveEcho, ImproveReport, Terminate, Update, ChildMsg, ChildAck, FlipBack,
+    ExchangeDone, ImproveOrder, Wave, EchoMsg, Done, Token, Back, DfsDone,
+    ElectWave, ElectEcho, ElectDone, Connect, Initiate, GhsTest, Accept, Reject,
+    Report, ChangeRoot, GhsDone,
+]
+
+
+def _default_instance(cls):
+    """Build an instance filling required fields with small ints."""
+    import dataclasses
+
+    kwargs = {
+        name: 1
+        for name, f in cls.__dataclass_fields__.items()
+        if f.default is dataclasses.MISSING
+        and f.default_factory is dataclasses.MISSING
+    }
+    return cls(**kwargs)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("msg", SAMPLES, ids=lambda m: repr(m))
+    def test_samples_round_trip_exactly(self, msg):
+        assert decode_message(encode_message(msg)) == msg
+
+    @pytest.mark.parametrize("cls", ALL_CLASSES, ids=lambda c: c.__name__)
+    def test_every_protocol_class_round_trips(self, cls):
+        msg = _default_instance(cls)
+        wire = encode_message(msg)
+        assert isinstance(wire, tuple)
+        assert wire[0] == codec_entry(cls).code
+        back = decode_message(wire)
+        assert back == msg
+        assert type(back) is cls
+
+    def test_wire_form_is_code_plus_fields(self):
+        msg = Cut(k=4, cutter=7)
+        assert encode_message(msg) == (codec_entry(Cut).code, 4, 7)
+
+
+class TestCompiledCount:
+    """``entry.count(msg)`` must agree with ``msg.id_field_count()``
+    (the ``field_values``-based accounting the codec compiles away)."""
+
+    @pytest.mark.parametrize("msg", SAMPLES, ids=lambda m: repr(m))
+    def test_count_matches_field_values(self, msg):
+        assert codec_entry(type(msg)).count(msg) == msg.id_field_count()
+
+    def test_tuple_fields_count_non_none_elements(self):
+        @dataclass(frozen=True, slots=True)
+        class WithTuple(Message):
+            pair: tuple
+
+        msg = WithTuple(pair=(3, None, 5))
+        assert codec_entry(WithTuple).count(msg) == 2
+        assert msg.id_field_count() == 2
+
+    def test_non_scalar_payload_raises_like_field_values(self):
+        @dataclass(frozen=True, slots=True)
+        class BadPayload(Message):
+            blob: object
+
+        msg = BadPayload(blob={"not": "scalar"})
+        with pytest.raises(TypeError):
+            codec_entry(BadPayload).count(msg)
+        with pytest.raises(TypeError):
+            msg.id_field_count()
+
+
+class TestRegistry:
+    def test_codes_are_dense_and_stable(self):
+        for cls in ALL_CLASSES:
+            codec_entry(cls)
+        codes = registered_codes()
+        assert sorted(codes.values()) == list(range(len(codes)))
+        # idempotent: re-registering returns the same entry/code
+        assert codec_entry(Search) is codec_entry(Search)
+
+    def test_non_message_class_rejected(self):
+        class NotAMessage:
+            pass
+
+        with pytest.raises(SimulationError, match="payload must be a Message"):
+            codec_entry(NotAMessage)
+
+    def test_non_class_rejected(self):
+        with pytest.raises(SimulationError, match="payload must be a Message"):
+            codec_entry("Search")  # type: ignore[arg-type]
+
+    def test_unknown_code_raises(self):
+        with pytest.raises(SimulationError, match="unknown message code"):
+            decode_message((10_000_000,))

@@ -102,3 +102,106 @@ class TestMessage:
         assert message_bits(msg, n=16) == 5 + 2 * 4
         assert message_bits(msg, n=2) == 5 + 2 * 1
         assert message_bits(msg, n=1) == 5 + 2 * 1
+
+
+class TestBucketQueue:
+    """Engine-v2 flat bucket queue: same API and pop order as the heap."""
+
+    def _fill(self, queue):
+        queue.push_raw(1.0, EventKind.DELIVER, target=1, sender=0, depth=1)
+        queue.push_raw(0.0, EventKind.START, target=0)
+        queue.push_raw(1.0, EventKind.DELIVER, target=2, sender=0, depth=1)
+        queue.push_raw(2.0, EventKind.DELIVER, target=0, sender=1, depth=2)
+
+    def test_pop_order_matches_heap_queue(self):
+        from repro.sim.events import BucketQueue
+
+        bucket, heap = BucketQueue(), EventQueue()
+        self._fill(bucket)
+        self._fill(heap)
+        while bucket or heap:
+            assert bucket.pop_raw() == heap.pop_raw()
+        assert not bucket and not heap
+
+    def test_unit_delay_workload_equivalent_to_heap(self):
+        """The engine's actual shape: each popped event schedules its
+        successors at now + 1 while the current bucket is draining."""
+        import random
+
+        from repro.sim.events import BucketQueue
+
+        def drive(queue):
+            rng = random.Random(42)
+            for u in range(4):
+                queue.push_raw(0.0, EventKind.START, target=u)
+            popped = []
+            budget = 400
+            while queue and budget:
+                budget -= 1
+                item = queue.pop_raw()
+                popped.append(item)
+                for _ in range(rng.randrange(3)):
+                    queue.push_raw(
+                        queue.now + 1.0,
+                        EventKind.DELIVER,
+                        target=rng.randrange(4),
+                        sender=item[3],
+                        depth=item[6] + 1,
+                    )
+            return popped
+
+        assert drive(BucketQueue()) == drive(EventQueue())
+
+    def test_push_at_draining_time_keeps_seq_order(self):
+        """A push at the *current* time while its bucket drains opens a
+        fresh bucket that is still consumed before any later time."""
+        from repro.sim.events import BucketQueue
+
+        q = BucketQueue()
+        q.push_raw(1.0, EventKind.DELIVER, target=0, sender=9, depth=1)
+        q.push_raw(2.0, EventKind.DELIVER, target=3, sender=9, depth=1)
+        first = q.pop_raw()
+        assert first[3] == 0 and q.now == 1.0
+        q.push_raw(1.0, EventKind.DELIVER, target=1, sender=9, depth=1)
+        q.push_raw(1.0, EventKind.DELIVER, target=2, sender=9, depth=1)
+        order = [q.pop_raw()[3] for _ in range(3)]
+        assert order == [1, 2, 3]  # same-time pushes before time 2.0
+
+    def test_cannot_schedule_in_past(self):
+        from repro.sim.events import BucketQueue
+
+        q = BucketQueue()
+        q.push_raw(2.0, EventKind.DELIVER, target=0)
+        q.pop_raw()
+        with pytest.raises(SchedulingError, match="before current time"):
+            q.push_raw(1.0, EventKind.DELIVER, target=0)
+
+    def test_len_bool_peek_mid_drain(self):
+        from repro.sim.events import BucketQueue
+
+        q = BucketQueue()
+        assert len(q) == 0 and not q
+        with pytest.raises(SchedulingError, match="peek on empty"):
+            q.peek_time()
+        self._fill(q)
+        assert len(q) == 4 and q
+        q.pop_raw()  # draining the t=0 bucket
+        assert len(q) == 3
+        assert q.peek_time() == 1.0
+        q.pop_raw()
+        assert q.peek_time() == 1.0  # mid-bucket peek
+        q.pop_raw()
+        q.pop_raw()
+        assert len(q) == 0 and not q
+        with pytest.raises(SchedulingError, match="pop from empty"):
+            q.pop_raw()
+
+    def test_pop_materializes_event_on_demand(self):
+        from repro.sim.events import BucketQueue
+
+        q = BucketQueue()
+        q.push(1.0, EventKind.DELIVER, target=7, sender=3, depth=2)
+        event = q.pop()
+        assert isinstance(event, Event)
+        assert (event.target, event.sender, event.depth) == (7, 3, 2)
+        assert q.now == 1.0
