@@ -6,19 +6,25 @@ single-run configuration each). An :class:`Executor` turns cells into
 
 * :class:`SerialExecutor` — in-process loop, the reference semantics;
 * :class:`ParallelExecutor` — a :class:`concurrent.futures.ProcessPoolExecutor`
-  fan-out. Records come back in **cell order** regardless of worker
-  completion order, so a parallel sweep is bit-identical to a serial one;
+  fan-out that ships whole **seed-varying groups** (not single cells) to
+  workers, where each group runs through the multi-seed lockstep batch
+  runner — so ``--jobs N`` keeps the batching win and pays one IPC
+  round-trip per group instead of per cell. Group results come back in
+  submission order, so a parallel sweep is bit-identical to a serial one;
 * :class:`CachingExecutor` — wraps any executor with a disk-backed
-  :class:`~repro.analysis.cache.ResultCache`; completed cells are served
-  from disk and only the misses reach the inner executor.
+  :class:`~repro.analysis.cache.ResultCache`: one batched ``get_many``
+  up front, only the missing cells reach the inner executor (still in
+  their groups), then one batched ``put_many``.
 
-Records cross process boundaries as JSON dicts (the same representation
-the cache stores), so a worker never pickles anything richer than
-built-in types.
+Cells and records cross process boundaries in a compact group encoding:
+one spec template plus the seed list per group on the way out, one field
+header plus value rows on the way back — a worker never pickles anything
+richer than built-in types.
 """
 
 from __future__ import annotations
 
+import dataclasses
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import asdict, dataclass
 from functools import partial
@@ -75,7 +81,9 @@ class RunSpec:
 
 #: A cell runner: the unit of work an executor dispatches. Must be a
 #: module-level callable so :class:`ParallelExecutor` can pickle it by
-#: reference into worker processes.
+#: reference into worker processes. A runner opts into multi-seed
+#: batching by exposing a ``run_batch`` attribute (see
+#: :func:`repro.analysis.batch.maybe_run_batched`).
 CellRunner = Callable[["RunSpec"], RunRecord]
 
 
@@ -97,9 +105,53 @@ def execute_cell(spec: RunSpec) -> RunRecord:
     )
 
 
-def _execute_json(runner: CellRunner, payload: dict[str, Any]) -> dict[str, Any]:
-    """Worker entry point: JSON dict in, JSON dict out (picklable both ways)."""
-    return runner(RunSpec.from_json_dict(payload)).to_json_dict()
+# -- compact group wire encoding -------------------------------------------
+
+_RECORD_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(RunRecord)
+)
+
+
+def _encode_group(cells: Sequence[RunSpec]) -> dict[str, Any]:
+    """One seed-varying group as ``{template, seeds}`` — the template is
+    serialized once however many replicas the group holds."""
+    template = cells[0].to_json_dict()
+    del template["seed"]
+    return {"spec": template, "seeds": [c.seed for c in cells]}
+
+
+def _decode_group(payload: dict[str, Any]) -> list[RunSpec]:
+    template = payload["spec"]
+    return [
+        RunSpec.from_json_dict({**template, "seed": seed})
+        for seed in payload["seeds"]
+    ]
+
+
+def _encode_records(records: Sequence[RunRecord]) -> list[list[Any]]:
+    """Field-ordered value rows (the header is the dataclass itself)."""
+    return [[getattr(r, name) for name in _RECORD_FIELDS] for r in records]
+
+
+def _decode_records(rows: Sequence[Sequence[Any]]) -> list[RunRecord]:
+    return [RunRecord(**dict(zip(_RECORD_FIELDS, row))) for row in rows]
+
+
+def _run_group_json(runner: CellRunner, payload: dict[str, Any]) -> list[list[Any]]:
+    """Worker entry point: one encoded group in, encoded record rows out.
+
+    Multi-cell groups route through the runner's ``run_batch`` hook
+    (the lockstep multi-seed runner for both built-in runners) exactly
+    as :class:`SerialExecutor` routes them, so worker-side records are
+    byte-identical to serial ones by construction.
+    """
+    cells = _decode_group(payload)
+    run_batch = getattr(runner, "run_batch", None)
+    if run_batch is not None and len(cells) > 1:
+        records = run_batch(cells)
+    else:
+        records = [runner(spec) for spec in cells]
+    return _encode_records(records)
 
 
 @runtime_checkable
@@ -140,45 +192,101 @@ class SerialExecutor:
 
 
 class ParallelExecutor:
-    """Process-pool backend.
+    """Process-pool backend shipping seed-varying groups to workers.
 
-    ``ProcessPoolExecutor.map`` yields results in *submission* order, so
-    the returned list matches the cell order bit-for-bit no matter which
-    worker finishes first — determinism is positional, not temporal.
+    The cell list is partitioned with
+    :func:`repro.analysis.batch.group_cells`; each group crosses the
+    process boundary once (compact template+seeds payload) and runs
+    through the worker-side lockstep batch runner. ``pool.map`` yields
+    group results in *submission* order, so the reassembled record list
+    matches the cell order bit-for-bit no matter which worker finishes
+    first — determinism is positional, not temporal. ``batch=False``
+    ships singleton groups (the per-cell reference path).
+
+    By default a fresh pool is built per :meth:`run` call. Multi-phase
+    drivers (exploration probe rounds, perf suites) can pass
+    ``persistent=True`` to reuse one lazily-built pool across calls —
+    pair it with :meth:`close` or use the executor as a context manager.
 
     *runner* must be a module-level callable (pickled by reference into
     the workers).
     """
 
-    def __init__(self, jobs: int, runner: CellRunner = execute_cell) -> None:
+    def __init__(
+        self,
+        jobs: int,
+        runner: CellRunner = execute_cell,
+        *,
+        batch: bool = True,
+        persistent: bool = False,
+    ) -> None:
         if jobs < 1:
             raise AnalysisError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs
         self.runner = runner
+        self.batch = batch
+        self.persistent = persistent
+        self._pool: ProcessPoolExecutor | None = None
 
     def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
         if not cells:
             return []
         if self.jobs == 1 or len(cells) == 1:
-            return SerialExecutor(self.runner).run(cells)
-        payloads = [spec.to_json_dict() for spec in cells]
-        chunksize = max(1, len(cells) // (self.jobs * 4))
-        with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-            rows = list(
+            return SerialExecutor(self.runner, batch=self.batch).run(cells)
+        if self.batch:
+            from .batch import group_cells
+
+            groups = group_cells(cells)
+        else:
+            groups = [[i] for i in range(len(cells))]
+        payloads = [_encode_group([cells[i] for i in idxs]) for idxs in groups]
+        chunksize = max(1, len(groups) // (self.jobs * 4))
+        pool, transient = self._acquire_pool()
+        try:
+            encoded = list(
                 pool.map(
-                    partial(_execute_json, self.runner),
+                    partial(_run_group_json, self.runner),
                     payloads,
                     chunksize=chunksize,
                 )
             )
-        return [RunRecord.from_json_dict(row) for row in rows]
+        finally:
+            if transient:
+                pool.shutdown()
+        records: list[RunRecord | None] = [None] * len(cells)
+        for idxs, rows in zip(groups, encoded):
+            for i, record in zip(idxs, _decode_records(rows)):
+                records[i] = record
+        return records  # type: ignore[return-value]
+
+    def _acquire_pool(self) -> tuple[ProcessPoolExecutor, bool]:
+        if not self.persistent:
+            return ProcessPoolExecutor(max_workers=self.jobs), True
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        return self._pool, False
+
+    def close(self) -> None:
+        """Shut the persistent pool down (no-op when none was built)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
 
 
 class CachingExecutor:
     """Serve cells from a :class:`ResultCache`; run only the misses.
 
-    The miss set is dispatched to *inner* as one batch (so a parallel
-    inner executor still fans out), then merged back into cell order.
+    One batched ``get_many`` answers every warm cell up front; the miss
+    set is dispatched to *inner* as one batch (so a parallel inner
+    executor still fans whole groups out — the missing seeds of a
+    half-warm group stay a group), then stored with one ``put_many``
+    and merged back into cell order.
     """
 
     def __init__(self, inner: Executor, cache: ResultCache | str | Path) -> None:
@@ -186,20 +294,14 @@ class CachingExecutor:
         self.cache = cache if isinstance(cache, ResultCache) else ResultCache(cache)
 
     def run(self, cells: Sequence[RunSpec]) -> list[RunRecord]:
-        results: dict[int, RunRecord] = {}
-        misses: list[tuple[int, RunSpec]] = []
-        for i, spec in enumerate(cells):
-            hit = self.cache.get(spec)
-            if hit is not None:
-                results[i] = hit
-            else:
-                misses.append((i, spec))
+        results = self.cache.get_many(cells)
+        misses = [i for i, record in enumerate(results) if record is None]
         if misses:
-            fresh = self.inner.run([spec for _, spec in misses])
-            for (i, spec), record in zip(misses, fresh):
-                self.cache.put(spec, record)
+            fresh = self.inner.run([cells[i] for i in misses])
+            self.cache.put_many([(cells[i], r) for i, r in zip(misses, fresh)])
+            for i, record in zip(misses, fresh):
                 results[i] = record
-        return [results[i] for i in range(len(cells))]
+        return results  # type: ignore[return-value]
 
 
 def make_executor(
@@ -207,17 +309,22 @@ def make_executor(
     jobs: int = 1,
     cache: ResultCache | str | Path | None = None,
     runner: CellRunner = execute_cell,
+    persistent: bool = False,
 ) -> Executor:
     """Build the executor implied by the ``--jobs`` / ``--cache`` knobs.
 
     A non-default *runner* must pair with a salted cache (see
     :class:`~repro.analysis.cache.ResultCache`) so its records never
-    alias the plain-run entries for the same spec.
+    alias the plain-run entries for the same spec. *persistent* keeps
+    one worker pool alive across ``run()`` calls (parallel executors
+    only — remember to ``close()`` it).
     """
     if jobs < 1:
         raise AnalysisError(f"jobs must be >= 1, got {jobs}")
     executor: Executor = (
-        ParallelExecutor(jobs, runner) if jobs > 1 else SerialExecutor(runner)
+        ParallelExecutor(jobs, runner, persistent=persistent)
+        if jobs > 1
+        else SerialExecutor(runner)
     )
     if cache is not None:
         executor = CachingExecutor(executor, cache)

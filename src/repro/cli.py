@@ -8,6 +8,7 @@ Subcommands
 ``campaign``  run a named / file-based scenario campaign into a report
 ``explore``   adversarial schedule exploration + counterexample shrinking
 ``bench``     run a benchmark suite; record, compare and gate baselines
+``cache``     inspect / verify / prune / migrate a packed result cache
 ``exact``     ground-truth Δ* for a small instance
 ``families``  list workload families, delays, algorithms, faults,
               scheduler policies, scenarios, bench suites
@@ -349,6 +350,36 @@ def build_parser() -> argparse.ArgumentParser:
         help="rows per --profile table (default %(default)s)",
     )
 
+    cache_p = sub.add_parser(
+        "cache",
+        help=(
+            "inspect and maintain a packed result cache "
+            "(segment store + index under DIR)"
+        ),
+    )
+    cache_p.add_argument("dir", metavar="DIR", help="result-cache directory")
+    cache_action = cache_p.add_mutually_exclusive_group(required=True)
+    cache_action.add_argument(
+        "--stats",
+        action="store_true",
+        help="print entry/segment/byte counts and the active schema version",
+    )
+    cache_action.add_argument(
+        "--verify",
+        action="store_true",
+        help="check index/segment consistency; exit 1 listing any problems",
+    )
+    cache_action.add_argument(
+        "--prune",
+        action="store_true",
+        help="drop packed entries recorded under a stale schema version",
+    )
+    cache_action.add_argument(
+        "--migrate",
+        action="store_true",
+        help="pack legacy per-file entries into the segment store",
+    )
+
     exp = sub.add_parser(
         "explore",
         help=(
@@ -657,6 +688,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench":
         return _bench(args)
 
+    if args.command == "cache":
+        return _cache(args)
+
     if args.command == "explore":
         return _explore(args)
 
@@ -722,6 +756,40 @@ def _campaign(args: argparse.Namespace) -> int:
             f"[{args.cache}]",
             file=sys.stderr,
         )
+    return 0
+
+
+def _cache(args: argparse.Namespace) -> int:
+    """``repro cache DIR --stats/--verify/--prune/--migrate``."""
+    cache = ResultCache(args.dir)
+
+    if args.stats:
+        s = cache.stats()
+        print(
+            f"cache {args.dir}: {s['entries']} packed entr(ies) in "
+            f"{s['segments']} segment(s) ({s['bytes']} bytes), "
+            f"{s['legacy_files']} legacy file(s), schema v{s['schema']}"
+        )
+        return 0
+
+    if args.verify:
+        problems = cache.verify()
+        if problems:
+            for problem in problems:
+                print(f"  {problem}")
+            print(f"cache verify: FAIL ({len(problems)} problem(s))")
+            return 1
+        print(f"cache verify: OK ({cache.stats()['entries']} packed entr(ies))")
+        return 0
+
+    if args.prune:
+        dropped = cache.prune()
+        print(f"cache prune: dropped {dropped} stale-schema entr(ies)")
+        return 0
+
+    # argparse guarantees exactly one action; the remaining one:
+    migrated = cache.migrate()
+    print(f"cache migrate: packed {migrated} legacy entr(ies)")
     return 0
 
 

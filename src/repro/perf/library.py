@@ -110,6 +110,13 @@ def _build() -> tuple[BenchSpec, ...]:
             repeats=5,
         ),
         BenchSpec(
+            name="cache_ops",
+            description="packed cache cold put_many / warm get_many (256 records)",
+            suites=("smoke", "core"),
+            micro=w.cache_ops_kernel,
+            repeats=5,
+        ),
+        BenchSpec(
             name="batch_runner",
             description="multi-seed batch execution of one cell group (8 seeds)",
             suites=("smoke", "core"),
@@ -158,6 +165,13 @@ def _build() -> tuple[BenchSpec, ...]:
             suites=("core",),
             micro=w.gnp_generation_kernel,
             repeats=5,
+        ),
+        BenchSpec(
+            name="group_fanout",
+            description="group wire codec + worker-side batched execution (8 seeds)",
+            suites=("core",),
+            micro=w.group_fanout_kernel,
+            repeats=3,
         ),
         BenchSpec(
             name="executor_sweep",

@@ -22,6 +22,7 @@ from ..graphs import (
 from ..mdst import MDSTConfig, MDSTResult, run_mdst
 from ..analysis.executor import RunSpec
 from ..analysis.harness import SweepSpec
+from ..analysis.records import RunRecord
 from ..sequential import (
     fuerer_raghavachari,
     local_search_mdst,
@@ -53,6 +54,8 @@ __all__ = [
     "T9_CONFIGS",
     "run_t9",
     "mdst_result_work",
+    "cache_ops_kernel",
+    "group_fanout_kernel",
     "event_queue_kernel",
     "policy_queue_kernel",
     "message_codec_kernel",
@@ -401,6 +404,91 @@ def message_codec_kernel():
                 id_fields += codec_entry(msg.__class__).count(msg)
                 ops += 2
         return {"ops": ops, "id_fields": id_fields, "message_types": len(vocab)}
+
+    return run
+
+
+def cache_ops_kernel():
+    """Packed-cache throughput: one cold ``put_many`` plus a disk-tier
+    and a memory-tier ``get_many`` over a synthetic record set (no
+    simulation — this isolates the results-I/O layer the caching
+    executor sits on)."""
+    import shutil
+    import tempfile
+
+    from ..analysis.cache import ResultCache
+
+    count = 256
+    specs = [RunSpec(family="ring", n=8, seed=seed) for seed in range(count)]
+    records = [
+        RunRecord(
+            family="ring",
+            n=8,
+            m=8,
+            seed=seed,
+            initial_method="echo",
+            mode="concurrent",
+            delay="unit",
+            k_initial=3,
+            k_final=2,
+            rounds=1 + seed % 5,
+            messages=100 + seed,
+            causal_time=50 + seed,
+            bits=1000 + 8 * seed,
+            max_msg_fields=4,
+            startup_messages=20 + seed,
+            events=200 + seed,
+        )
+        for seed in range(count)
+    ]
+
+    def run() -> dict[str, int]:
+        root = tempfile.mkdtemp(prefix="repro-cacheops-")
+        try:
+            cold = ResultCache(root)
+            written = cold.put_many(list(zip(specs, records)))
+            disk = ResultCache(root)  # fresh memory tier: reads hit disk
+            disk_hits = sum(r is not None for r in disk.get_many(specs))
+            memory_hits = sum(r is not None for r in disk.get_many(specs))
+            if not (written == disk_hits == memory_hits == count):
+                raise AssertionError(
+                    f"cache_ops lost entries: {written}/{disk_hits}/{memory_hits}"
+                )
+            return {
+                "entries": count,
+                "ops": 3 * count,
+                "disk_hits": disk_hits,
+                "memory_hits": memory_hits,
+            }
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    return run
+
+
+def group_fanout_kernel():
+    """Group fan-out machinery, in-process: encode one seed-varying cell
+    group the parallel wire way, execute it through the worker entry
+    point (lockstep batch runner included), decode the record rows —
+    the per-group cost a ``--jobs N`` worker pays, minus the IPC."""
+    from ..analysis.executor import (
+        _decode_records,
+        _encode_group,
+        _run_group_json,
+        execute_cell,
+    )
+
+    cells = [RunSpec(family="gnp_sparse", n=24, seed=seed) for seed in range(8)]
+
+    def run() -> dict[str, int]:
+        payload = _encode_group(cells)
+        records = _decode_records(_run_group_json(execute_cell, payload))
+        return {
+            "cells": len(records),
+            "events": sum(r.events for r in records),
+            "messages": sum(r.messages for r in records),
+            "bits": sum(r.bits for r in records),
+        }
 
     return run
 

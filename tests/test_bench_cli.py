@@ -18,13 +18,14 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 BENCH_LIST_GOLDEN = """\
 bench suites:
 
-  smoke   8 benches  seconds-scale regression gate (runs on every CI push)
-  core   19 benches  the paper's t1-t9 experiment workloads + engine benches
-  full   20 benches  every registered bench
+  smoke   9 benches  seconds-scale regression gate (runs on every CI push)
+  core   21 benches  the paper's t1-t9 experiment workloads + engine benches
+  full   22 benches  every registered bench
 
 benches (suites in brackets):
 
   batch_runner       micro  [smoke,core]  multi-seed batch execution of one cell group (8 seeds)
+  cache_ops          micro  [smoke,core]  packed cache cold put_many / warm get_many (256 records)
   campaign_tiny      sweep  [smoke,core]  tiny built-in campaign incl. fault + scheduler regimes
   echo_wave          micro  [smoke,core]  one echo spanning wave, n=96 (loop-dominated hot path)
   event_queue_ops    micro  [smoke,core]  raw-tuple heap push/pop churn (the simulator inner loop)
@@ -32,6 +33,7 @@ benches (suites in brackets):
   full_protocol      micro  [smoke,core]  full MDegST protocol on G(64, 0.1) — headline events/sec
   ghs_startup        micro  [core]  GHS spanning-tree construction, the heaviest startup
   gnp_generation     micro  [core]  numpy-vectorized connected G(n, p) generation
+  group_fanout       micro  [core]  group wire codec + worker-side batched execution (8 seeds)
   message_codec      micro  [smoke,core]  message encode/decode round-trip + compiled field count
   policy_queue_ops   micro  [smoke,core]  PolicyQueue eligible-head selection under a random policy
   smoke_sweep        sweep  [smoke]  both algorithms across small sparse/geometric instances
@@ -79,7 +81,7 @@ class TestBenchRun:
         base = load_baseline(out)
         assert base.suite == "smoke"
         assert base.notes == "test point"
-        assert len(base.results) == 8
+        assert len(base.results) == 9
         assert base.result("full_protocol").derived["events_per_sec"] > 0
 
     def test_work_section_byte_identical_serial_jobs2_warm_cache(

@@ -1,0 +1,112 @@
+"""CLI surface of the packed cache: ``repro cache DIR --stats/--verify/
+--prune/--migrate`` golden output lines and exit codes."""
+
+import pytest
+
+from repro.analysis import ResultCache, RunSpec, cache_key, run_single
+from repro.analysis.cache import _encode_payload
+from repro.cli import main
+
+
+@pytest.fixture
+def populated(tmp_path):
+    """A cache directory holding two packed entries + one legacy file."""
+    cache = ResultCache(tmp_path)
+    cache.put_many(
+        [
+            (RunSpec(family="ring", n=8, seed=seed), run_single("ring", 8, seed=seed))
+            for seed in range(2)
+        ]
+    )
+    spec = RunSpec(family="ring", n=8, seed=2)
+    key = cache_key(spec)
+    legacy = tmp_path / key[:2] / f"{key}.json"
+    legacy.parent.mkdir(parents=True)
+    legacy.write_bytes(_encode_payload(spec, run_single("ring", 8, seed=2)))
+    return tmp_path
+
+
+class TestCacheStats:
+    def test_golden_line(self, capsys, populated):
+        assert main(["cache", str(populated), "--stats"]) == 0
+        out = capsys.readouterr().out
+        packed_bytes = ResultCache(populated).stats()["bytes"]
+        assert out == (
+            f"cache {populated}: 2 packed entr(ies) in 1 segment(s) "
+            f"({packed_bytes} bytes), 1 legacy file(s), schema v5\n"
+        )
+
+    def test_empty_directory(self, capsys, tmp_path):
+        assert main(["cache", str(tmp_path), "--stats"]) == 0
+        assert "0 packed entr(ies) in 0 segment(s) (0 bytes)" in (
+            capsys.readouterr().out
+        )
+
+
+class TestCacheVerify:
+    def test_healthy_store_passes(self, capsys, populated):
+        assert main(["cache", str(populated), "--verify"]) == 0
+        assert capsys.readouterr().out == "cache verify: OK (2 packed entr(ies))\n"
+
+    def test_truncated_segment_fails_with_details(self, capsys, populated):
+        (segment,) = (populated / "segments").glob("seg-*.pack")
+        segment.write_bytes(segment.read_bytes()[:10])
+        assert main(["cache", str(populated), "--verify"]) == 1
+        out = capsys.readouterr().out
+        assert "truncated segment" in out
+        assert "cache verify: FAIL (2 problem(s))" in out
+
+
+class TestCachePrune:
+    def test_nothing_stale(self, capsys, populated):
+        assert main(["cache", str(populated), "--prune"]) == 0
+        assert capsys.readouterr().out == (
+            "cache prune: dropped 0 stale-schema entr(ies)\n"
+        )
+
+    def test_drops_stale_entries(self, capsys, tmp_path, monkeypatch):
+        from repro.analysis import cache as cache_mod
+
+        stale = ResultCache(tmp_path)
+        monkeypatch.setattr(
+            cache_mod, "CACHE_SCHEMA_VERSION", cache_mod.CACHE_SCHEMA_VERSION - 1
+        )
+        stale.put(RunSpec(family="ring", n=8, seed=0), run_single("ring", 8, seed=0))
+        monkeypatch.undo()
+        assert main(["cache", str(tmp_path), "--prune"]) == 0
+        assert capsys.readouterr().out == (
+            "cache prune: dropped 1 stale-schema entr(ies)\n"
+        )
+
+
+class TestCacheMigrate:
+    def test_packs_legacy_files(self, capsys, populated):
+        assert main(["cache", str(populated), "--migrate"]) == 0
+        assert capsys.readouterr().out == (
+            "cache migrate: packed 1 legacy entr(ies)\n"
+        )
+        assert not list(populated.glob("??/*.json"))
+        # the migrated entry is served from the packed store
+        assert ResultCache(populated).get(RunSpec(family="ring", n=8, seed=2))
+
+    def test_migrate_is_idempotent(self, capsys, populated):
+        assert main(["cache", str(populated), "--migrate"]) == 0
+        capsys.readouterr()
+        assert main(["cache", str(populated), "--migrate"]) == 0
+        assert capsys.readouterr().out == (
+            "cache migrate: packed 0 legacy entr(ies)\n"
+        )
+
+
+class TestCacheArgs:
+    def test_exactly_one_action_required(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", str(tmp_path)])
+        assert excinfo.value.code == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_actions_are_mutually_exclusive(self, capsys, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["cache", str(tmp_path), "--stats", "--verify"])
+        assert excinfo.value.code == 2
+        assert "not allowed with" in capsys.readouterr().err

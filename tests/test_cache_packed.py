@@ -1,0 +1,301 @@
+"""Packed two-tier ResultCache: segment/index layout, batched lookups,
+the LRU memory tier, corruption robustness (every mode is a warned miss,
+never an exception), crash-safety ordering, and the legacy per-file
+layout (read-through + migrate + interchangeability)."""
+
+import json
+
+import pytest
+
+from repro.analysis import ResultCache, RunSpec, cache_key, run_single
+from repro.analysis.cache import _encode_payload
+
+
+def make_pairs(count, family="ring", n=8):
+    """(spec, record) pairs for distinct seeds — records are real runs
+    of the first seed re-stamped? No: each seed is actually run, so the
+    cache round-trips genuine records."""
+    pairs = []
+    for seed in range(count):
+        spec = RunSpec(family=family, n=n, seed=seed)
+        pairs.append((spec, run_single(family, n, seed=seed)))
+    return pairs
+
+
+def write_legacy_entry(root, spec, record, *, key=None):
+    """Write one entry in the pre-packed one-file-per-entry layout."""
+    key = key or cache_key(spec)
+    path = root / key[:2] / f"{key}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(_encode_payload(spec, record))
+    return path
+
+
+class TestPackedLayout:
+    def test_put_many_writes_one_segment_and_an_index(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        pairs = make_pairs(4)
+        assert cache.put_many(pairs) == 4
+        assert (tmp_path / "index.json").is_file()
+        assert len(list((tmp_path / "segments").glob("seg-*.pack"))) == 1
+        assert len(cache) == 4
+
+    def test_get_many_preserves_order_and_marks_misses_in_place(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        pairs = make_pairs(3)
+        cache.put_many(pairs[:2])
+        fresh = ResultCache(tmp_path)  # cold memory tier: disk answers
+        specs = [pairs[2][0], pairs[0][0], pairs[1][0]]
+        got = fresh.get_many(specs)
+        assert got == [None, pairs[0][1], pairs[1][1]]
+        assert fresh.hits == 2 and fresh.misses == 1
+
+    def test_segments_roll_over_at_the_byte_threshold(self, tmp_path):
+        cache = ResultCache(tmp_path, segment_bytes=1)  # every batch rolls
+        for spec, record in make_pairs(3):
+            cache.put(spec, record)
+        assert len(list((tmp_path / "segments").glob("seg-*.pack"))) == 3
+        assert all(r is not None for r in ResultCache(tmp_path).get_many(
+            [spec for spec, _ in make_pairs(3)]
+        ))
+
+    def test_index_reloaded_when_another_writer_updates_it(self, tmp_path):
+        reader = ResultCache(tmp_path)
+        (spec, record), *_ = pairs = make_pairs(2)
+        assert reader.get(spec) is None  # index loaded (empty) and cached
+        writer = ResultCache(tmp_path)
+        writer.put_many(pairs)
+        assert reader.get(spec) == record  # stat stamp changed: re-read
+
+
+class TestMemoryTier:
+    def test_lru_never_exceeds_its_budget(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_entries=2)
+        pairs = make_pairs(5)
+        cache.put_many(pairs)
+        assert len(cache._memory) <= 2
+        assert all(r is not None for r in cache.get_many([s for s, _ in pairs]))
+        assert len(cache._memory) <= 2
+
+    def test_zero_budget_disables_the_tier(self, tmp_path):
+        cache = ResultCache(tmp_path, memory_entries=0)
+        pairs = make_pairs(2)
+        cache.put_many(pairs)
+        assert cache.get(pairs[0][0]) == pairs[0][1]  # served from disk
+        assert len(cache._memory) == 0
+
+    def test_memory_tier_answers_without_the_disk(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (spec, record), *_ = make_pairs(1)
+        cache.put(spec, record)
+        (tmp_path / "index.json").unlink()  # disk gone, memory still warm
+        for seg in (tmp_path / "segments").glob("seg-*.pack"):
+            seg.unlink()
+        assert cache.get(spec) == record
+
+
+class TestCorruptionIsAMiss:
+    """Every corruption mode degrades to a warned miss — a damaged cache
+    must never take a sweep down, and a re-put must heal it."""
+
+    def make_cold(self, tmp_path, count=2):
+        pairs = make_pairs(count)
+        ResultCache(tmp_path).put_many(pairs)
+        return pairs, ResultCache(tmp_path, memory_entries=0)
+
+    def test_truncated_segment(self, tmp_path):
+        pairs, cache = self.make_cold(tmp_path)
+        (segment,) = (tmp_path / "segments").glob("seg-*.pack")
+        blob = segment.read_bytes()
+        segment.write_bytes(blob[: len(blob) // 2])  # tail entry cut off
+        with pytest.warns(RuntimeWarning, match="treated as a miss"):
+            got = cache.get_many([s for s, _ in pairs])
+        assert None in got
+
+    def test_missing_segment(self, tmp_path):
+        pairs, cache = self.make_cold(tmp_path)
+        (segment,) = (tmp_path / "segments").glob("seg-*.pack")
+        segment.unlink()
+        with pytest.warns(RuntimeWarning, match="missing segment"):
+            assert cache.get_many([s for s, _ in pairs]) == [None, None]
+
+    def test_undecodable_entry(self, tmp_path):
+        pairs, cache = self.make_cold(tmp_path, count=1)
+        (segment,) = (tmp_path / "segments").glob("seg-*.pack")
+        segment.write_bytes(b"x" * segment.stat().st_size)  # same size, garbage
+        with pytest.warns(RuntimeWarning, match="undecodable entry"):
+            assert cache.get(pairs[0][0]) is None
+
+    def test_unreadable_index(self, tmp_path):
+        pairs, cache = self.make_cold(tmp_path)
+        (tmp_path / "index.json").write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="unreadable index"):
+            assert cache.get_many([s for s, _ in pairs]) == [None, None]
+
+    def test_missing_index_is_a_plain_miss(self, tmp_path):
+        # indistinguishable from a fresh cache: a miss, but not a warning
+        pairs, cache = self.make_cold(tmp_path)
+        (tmp_path / "index.json").unlink()
+        assert cache.get(pairs[0][0]) is None
+
+    def test_malformed_index_entry(self, tmp_path):
+        pairs, cache = self.make_cold(tmp_path, count=1)
+        index_path = tmp_path / "index.json"
+        data = json.loads(index_path.read_text(encoding="utf-8"))
+        (key,) = data["entries"]
+        data["entries"][key] = ["seg-00000.pack", "zero", None]
+        index_path.write_text(json.dumps(data), encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="malformed index entry"):
+            assert cache.get(pairs[0][0]) is None
+
+    def test_corruption_heals_on_re_put(self, tmp_path):
+        pairs, cache = self.make_cold(tmp_path, count=1)
+        (segment,) = (tmp_path / "segments").glob("seg-*.pack")
+        segment.write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning):
+            assert cache.get(pairs[0][0]) is None
+        cache.put_many(pairs)
+        assert ResultCache(tmp_path).get(pairs[0][0]) == pairs[0][1]
+
+
+class TestCrashSafety:
+    def test_orphan_segment_bytes_never_poison_lookups(self, tmp_path):
+        """A crash between segment append and index write leaves orphan
+        bytes; they are invisible (unreferenced) and the next batch
+        appends cleanly after them."""
+        cache = ResultCache(tmp_path)
+        pairs = make_pairs(3)
+        cache.put_many(pairs[:1])
+        (segment,) = (tmp_path / "segments").glob("seg-*.pack")
+        with open(segment, "ab") as fh:
+            fh.write(b'{"spec": "torn batch, index never written')
+        fresh = ResultCache(tmp_path, memory_entries=0)
+        assert fresh.get(pairs[0][0]) == pairs[0][1]
+        assert fresh.get(pairs[1][0]) is None  # orphan is not served
+        fresh.put_many(pairs[1:])
+        assert fresh.get_many([s for s, _ in pairs]) == [r for _, r in pairs]
+
+    def test_index_entries_always_point_inside_their_segment(self, tmp_path):
+        cache = ResultCache(tmp_path, segment_bytes=256)
+        cache.put_many(make_pairs(6))
+        data = json.loads((tmp_path / "index.json").read_text(encoding="utf-8"))
+        for segment, offset, length, _schema in data["entries"].values():
+            size = (tmp_path / "segments" / segment).stat().st_size
+            assert offset + length <= size
+
+
+class TestMaintenance:
+    def test_stats_counts_everything(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        pairs = make_pairs(3)
+        cache.put_many(pairs[:2])
+        write_legacy_entry(tmp_path, *pairs[2])
+        s = cache.stats()
+        assert s["entries"] == 2
+        assert s["segments"] == 1
+        assert s["bytes"] > 0
+        assert s["legacy_files"] == 1
+        assert s["schema"] >= 5
+
+    def test_verify_clean_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put_many(make_pairs(3))
+        assert cache.verify() == []
+
+    def test_verify_reports_truncation_and_missing_segments(self, tmp_path):
+        cache = ResultCache(tmp_path, segment_bytes=1)
+        cache.put_many(make_pairs(1))
+        cache.put_many(make_pairs(2)[1:])
+        seg0, seg1 = sorted((tmp_path / "segments").glob("seg-*.pack"))
+        seg0.write_bytes(seg0.read_bytes()[:10])
+        seg1.unlink()
+        problems = ResultCache(tmp_path).verify()
+        assert len(problems) == 2
+        assert any("truncated segment" in p for p in problems)
+        assert any("is missing" in p for p in problems)
+
+    def test_prune_drops_stale_schema_entries(self, tmp_path, monkeypatch):
+        from repro.analysis import cache as cache_mod
+
+        pairs = make_pairs(3)
+        stale = ResultCache(tmp_path)
+        monkeypatch.setattr(
+            cache_mod, "CACHE_SCHEMA_VERSION", cache_mod.CACHE_SCHEMA_VERSION - 1
+        )
+        stale.put_many(pairs[:2])  # written under the previous schema
+        monkeypatch.undo()
+        current = ResultCache(tmp_path)
+        current.put_many(pairs[2:])
+        assert current.prune() == 2
+        got = ResultCache(tmp_path).get_many([s for s, _ in pairs])
+        assert got == [None, None, pairs[2][1]]
+        assert current.prune() == 0  # idempotent
+
+
+class TestLegacyLayout:
+    def test_read_through_serves_legacy_entries(self, tmp_path):
+        (spec, record), *_ = make_pairs(1)
+        write_legacy_entry(tmp_path, spec, record)
+        cache = ResultCache(tmp_path)
+        assert cache.get(spec) == record
+        assert len(cache) == 1
+
+    def test_undecodable_legacy_entry_is_a_warned_miss(self, tmp_path):
+        (spec, record), *_ = make_pairs(1)
+        path = write_legacy_entry(tmp_path, spec, record)
+        path.write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="undecodable legacy entry"):
+            assert ResultCache(tmp_path).get(spec) is None
+
+    def test_migrate_packs_deletes_and_stays_interchangeable(self, tmp_path):
+        pairs = make_pairs(3)
+        for spec, record in pairs:
+            write_legacy_entry(tmp_path, spec, record)
+        cache = ResultCache(tmp_path)
+        before = cache.get_many([s for s, _ in pairs])
+        assert cache.migrate() == 3
+        assert not list(tmp_path.glob("??/*.json"))  # legacy files gone
+        after = ResultCache(tmp_path).get_many([s for s, _ in pairs])
+        assert after == before == [r for _, r in pairs]
+        assert cache.verify() == []
+
+    def test_migrate_tags_stale_keys_unknown_for_prune(self, tmp_path):
+        (spec, record), *_ = make_pairs(1)
+        # a legacy file whose name no current key can reproduce (written
+        # under an older schema): migrated verbatim, never served, and
+        # prune clears it
+        write_legacy_entry(tmp_path, spec, record, key="ab" * 32)
+        cache = ResultCache(tmp_path)
+        assert cache.migrate() == 1
+        assert cache.get(spec) is None
+        assert cache.prune() == 1
+        assert len(ResultCache(tmp_path)) == 0
+
+    def test_migrate_skips_undecodable_files(self, tmp_path):
+        pairs = make_pairs(2)
+        write_legacy_entry(tmp_path, *pairs[0])
+        bad = write_legacy_entry(tmp_path, *pairs[1])
+        bad.write_text("{ not json", encoding="utf-8")
+        cache = ResultCache(tmp_path)
+        with pytest.warns(RuntimeWarning, match="skipping undecodable"):
+            assert cache.migrate() == 1
+        assert bad.exists()  # never deleted: the bytes are all there is
+        assert ResultCache(tmp_path).get(pairs[0][0]) == pairs[0][1]
+
+    def test_migrate_preserves_salted_stores(self, tmp_path):
+        (spec, record), *_ = make_pairs(1)
+        salted = ResultCache(tmp_path, salt="exploration-probe:1")
+        key = cache_key(spec, salt="exploration-probe:1")
+        write_legacy_entry(tmp_path, spec, record, key=key)
+        assert salted.migrate() == 1
+        assert ResultCache(tmp_path, salt="exploration-probe:1").get(spec) == record
+        assert ResultCache(tmp_path).get(spec) is None
+
+    def test_clear_removes_both_layouts(self, tmp_path):
+        pairs = make_pairs(2)
+        cache = ResultCache(tmp_path)
+        cache.put_many(pairs[:1])
+        write_legacy_entry(tmp_path, *pairs[1])
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(ResultCache(tmp_path)) == 0

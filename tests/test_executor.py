@@ -139,13 +139,14 @@ class TestResultCache:
         assert cache_key(a) != cache_key(RunSpec(family="ring", n=8, seed=1))
 
     def test_corrupt_entry_is_a_miss_and_heals(self, tmp_path):
-        cache = ResultCache(tmp_path)
+        cache = ResultCache(tmp_path, memory_entries=0)
         spec = RunSpec(family="gnp_sparse", n=10, seed=0)
         record = run_single("gnp_sparse", 10, seed=0)
         cache.put(spec, record)
-        entry = cache._path(spec)
-        entry.write_text("{ not json", encoding="utf-8")
-        assert cache.get(spec) is None
+        (segment,) = (tmp_path / "segments").glob("seg-*.pack")
+        segment.write_text("{ not json", encoding="utf-8")
+        with pytest.warns(RuntimeWarning, match="treated as a miss"):
+            assert cache.get(spec) is None
         cache.put(spec, record)
         assert cache.get(spec) == record
 
@@ -162,6 +163,112 @@ class TestResultCache:
         combined = make_executor(jobs=4, cache=tmp_path)
         assert isinstance(combined, CachingExecutor)
         assert isinstance(combined.inner, ParallelExecutor)
+
+
+class TestGroupWireCodec:
+    """The compact group encoding that crosses the worker boundary."""
+
+    def test_group_round_trip(self):
+        from repro.analysis.executor import _decode_group, _encode_group
+
+        cells = [RunSpec(family="ring", n=8, seed=s, delay="perlink") for s in (3, 7)]
+        payload = _encode_group(cells)
+        assert payload["seeds"] == [3, 7]
+        assert "seed" not in payload["spec"]  # template carried once
+        assert _decode_group(payload) == cells
+
+    def test_record_rows_round_trip(self):
+        from repro.analysis.executor import _decode_records, _encode_records
+
+        records = [run_single("ring", 8, seed=s) for s in (0, 1)]
+        assert _decode_records(_encode_records(records)) == records
+
+    def test_worker_entry_matches_serial(self):
+        from repro.analysis.executor import (
+            _decode_records,
+            _encode_group,
+            _run_group_json,
+            execute_cell,
+        )
+
+        cells = [RunSpec(family="gnp_sparse", n=12, seed=s) for s in range(3)]
+        rows = _run_group_json(execute_cell, _encode_group(cells))
+        assert _decode_records(rows) == SerialExecutor().run(cells)
+
+    def test_unbatched_parallel_matches_serial(self):
+        cells = SPEC.cells()
+        reference = SerialExecutor(batch=False).run(cells)
+        assert ParallelExecutor(jobs=2, batch=False).run(cells) == reference
+        assert SerialExecutor().run(cells) == reference
+
+
+class TestPersistentPool:
+    def test_pool_is_reused_across_runs_and_closed(self):
+        cells = SPEC.cells()
+        with ParallelExecutor(jobs=2, persistent=True) as executor:
+            first = executor.run(cells)
+            pool = executor._pool
+            assert pool is not None
+            assert executor.run(cells) == first
+            assert executor._pool is pool  # same pool, no respawn
+        assert executor._pool is None  # context exit closed it
+
+    def test_close_is_idempotent_and_lazy(self):
+        executor = ParallelExecutor(jobs=2, persistent=True)
+        assert executor._pool is None  # nothing spawned until needed
+        executor.close()
+        executor.close()
+
+    def test_transient_mode_leaves_no_pool_behind(self):
+        executor = ParallelExecutor(jobs=2)
+        executor.run(SPEC.cells())
+        assert executor._pool is None
+
+    def test_make_executor_persistent_flag(self, tmp_path):
+        executor = make_executor(jobs=2, persistent=True)
+        assert executor.persistent
+        combined = make_executor(jobs=2, cache=tmp_path, persistent=True)
+        assert combined.inner.persistent
+
+
+class TestBatchedCachingExecutor:
+    def test_only_misses_reach_the_inner_executor_as_one_batch(self, tmp_path):
+        cells = SPEC.cells()
+        cache = ResultCache(tmp_path)
+        run_sweep(SweepSpec(families=("gnp_sparse",), sizes=(10,),
+                            seeds=(0, 1), delays=("uniform",)), cache=cache)
+
+        batches = []
+
+        class Recording:
+            def run(self, missed):
+                batches.append(list(missed))
+                return SerialExecutor().run(missed)
+
+        result = CachingExecutor(Recording(), cache).run(cells)
+        assert result == run_sweep(SPEC)
+        (batch,) = batches  # exactly one inner dispatch for all misses
+        assert batch == [c for c in cells if c.n == 12]
+
+    def test_fully_warm_batch_never_dispatches(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_sweep(SPEC, cache=cache)
+
+        class Exploding:
+            def run(self, cells):
+                raise AssertionError("dispatched on a warm cache")
+
+        # a fresh cache object proves the disk tier alone answers
+        warm = CachingExecutor(Exploding(), ResultCache(tmp_path))
+        assert warm.run(SPEC.cells()) == first
+
+    def test_half_warm_group_results_stay_byte_identical(self, tmp_path):
+        cells = SPEC.cells()
+        reference = SerialExecutor().run(cells)
+        cache = ResultCache(tmp_path)
+        cache.put_many([(cells[0], reference[0]), (cells[3], reference[3])])
+        combined = CachingExecutor(ParallelExecutor(jobs=2), cache)
+        assert combined.run(cells) == reference
 
 
 class TestCacheSchemaVersioning:
