@@ -34,6 +34,8 @@ from typing import Sequence
 from ..algorithms import get_algorithm
 from ..errors import AnalysisError, ProtocolError, TerminationError
 from ..graphs.generators import make_family
+from ..obs import Telemetry
+from ..obs import current as obs
 from ..sim.batch import run_lockstep
 from ..sim.delays import delay_model_from_name
 from ..sim.faults import NO_FAULT, fault_plan_from_name
@@ -42,7 +44,13 @@ from ..spanning.provider import build_spanning_tree
 from .executor import RunSpec, execute_cell
 from .records import RunRecord
 
-__all__ = ["CellTemplate", "group_cells", "run_cells", "maybe_run_batched"]
+__all__ = [
+    "CellTemplate",
+    "group_cells",
+    "run_cells",
+    "maybe_run_batched",
+    "emit_group_spans",
+]
 
 
 class CellTemplate:
@@ -194,9 +202,13 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
             raise AnalysisError(
                 f"batch cells must differ only in seed: {c} vs {cells[0]}"
             )
+    t = obs()
+    t.count("exec.groups")
     build = template.algorithm.build
     if build is None:
+        t.count("exec.cells.unbatched", len(cells))
         return [template.run(c.seed) for c in cells]
+    t.count("exec.cells.batched", len(cells))
 
     s = template.spec
     records: list[RunRecord | None] = [None] * len(cells)
@@ -261,15 +273,51 @@ def maybe_run_batched(runner, cells: Sequence[RunSpec]) -> list[RunRecord]:
     """
     run_batch = getattr(runner, "run_batch", None)
     if run_batch is None:
+        if cells:
+            obs().count("exec.cells.single", len(cells))
         return [runner(spec) for spec in cells]
     records: list[RunRecord | None] = [None] * len(cells)
     for idxs in group_cells(cells):
         if len(idxs) == 1:
+            obs().count("exec.cells.single")
             records[idxs[0]] = runner(cells[idxs[0]])
         else:
             for i, rec in zip(idxs, run_batch([cells[i] for i in idxs])):
                 records[i] = rec
     return records  # type: ignore[return-value]
+
+
+def emit_group_spans(
+    t: Telemetry,
+    cells: Sequence[RunSpec],
+    records: Sequence[RunRecord],
+    name: str = "group",
+) -> None:
+    """Emit one *logical* instant span per seed-varying cell group.
+
+    The span attrs are derived purely from the specs and the finished
+    records (cell counts, summed events/messages, stalled tally), never
+    from how the work physically executed — so the span tree of a sweep
+    is byte-identical whether the records came from a serial loop, a
+    worker pool, or a warm cache. Drivers call this after execution;
+    groups appear in first-occurrence order (the :func:`group_cells`
+    order, which is itself a pure function of the cell list).
+    """
+    for idxs in group_cells(cells):
+        spec = cells[idxs[0]]
+        group = [records[i] for i in idxs]
+        t.leaf(
+            name,
+            family=spec.family,
+            n=spec.n,
+            algorithm=spec.algorithm,
+            fault=spec.fault,
+            scheduler=spec.scheduler,
+            cells=len(group),
+            events=sum(r.events for r in group),
+            messages=sum(r.messages for r in group),
+            stalled=sum(1 for r in group if r.outcome == "stalled"),
+        )
 
 
 #: the default cell runner batches through the lockstep group runner

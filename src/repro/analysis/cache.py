@@ -46,6 +46,7 @@ from collections import OrderedDict
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
+from ..obs import current as obs
 from .records import RunRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -142,6 +143,9 @@ class ResultCache:
         self._memory: OrderedDict[str, RunRecord] = OrderedDict()
         self._index: dict[str, list[Any]] | None = None
         self._index_stamp: tuple[int, int] | None = None
+        # per-batch corruption-warning dedup state (see _warn)
+        self._warned: set[tuple[Any, ...]] = set()
+        self._suppressed = 0
 
     # -- paths ---------------------------------------------------------
 
@@ -159,12 +163,47 @@ class ResultCache:
     def _legacy_path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
-    def _warn(self, message: str) -> None:
+    def _warn(
+        self,
+        message: str,
+        *,
+        dedup: tuple[Any, ...] | None = None,
+        **context: Any,
+    ) -> None:
+        """The single corruption funnel: every corruption mode reports
+        through here. Each occurrence increments the ``cache.corruption``
+        telemetry counter; the first occurrence per *dedup* key within
+        one batch emits the :class:`RuntimeWarning` and a structured
+        ``cache.corruption`` event carrying *context* (segment / key /
+        offset), and repeats are suppressed — a 256-entry torn batch
+        warns once plus a summary line, not 256 times.
+        """
+        obs().count("cache.corruption")
+        if dedup is not None:
+            if dedup in self._warned:
+                self._suppressed += 1
+                return
+            self._warned.add(dedup)
+        obs().event("cache.corruption", detail=message, **context)
         warnings.warn(
             f"result cache {self.root}: {message} (treated as a miss)",
             RuntimeWarning,
             stacklevel=4,
         )
+
+    def _begin_warn_batch(self) -> None:
+        self._warned.clear()
+        self._suppressed = 0
+
+    def _end_warn_batch(self) -> None:
+        if self._suppressed:
+            warnings.warn(
+                f"result cache {self.root}: {self._suppressed} similar "
+                "corruption warning(s) suppressed in this batch",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            self._suppressed = 0
 
     # -- index ---------------------------------------------------------
 
@@ -255,6 +294,8 @@ class ResultCache:
         out: list[RunRecord | None] = [None] * len(specs)
         if not specs:
             return out
+        self._begin_warn_batch()
+        tiers = {"memory": 0, "disk": 0, "legacy": 0, "miss": 0}
         keys = [cache_key(spec, salt=self.salt) for spec in specs]
         index = self._load_index()
         # (segment -> [(slot, key, offset, length)]) so each pack file is
@@ -265,14 +306,20 @@ class ResultCache:
             if record is not None:
                 out[i] = record
                 self.hits += 1
+                tiers["memory"] += 1
                 continue
             entry = index.get(key)
             if entry is not None:
                 try:
                     segment, offset, length = entry[0], int(entry[1]), int(entry[2])
                 except (IndexError, TypeError, ValueError) as exc:
-                    self._warn(f"malformed index entry for {key[:12]}…: {exc}")
+                    self._warn(
+                        f"malformed index entry for {key[:12]}…: {exc}",
+                        dedup=("index-entry",),
+                        key=key[:12],
+                    )
                     self.misses += 1
+                    tiers["miss"] += 1
                     continue
                 pending.setdefault(segment, []).append((i, key, offset, length))
                 continue
@@ -281,14 +328,17 @@ class ResultCache:
                 out[i] = record
                 self._memory_put(key, record)
                 self.hits += 1
+                tiers["legacy"] += 1
             else:
                 self.misses += 1
+                tiers["miss"] += 1
         for segment, wanted in pending.items():
             try:
                 fh = open(self._segment_path(segment), "rb")
             except OSError as exc:
-                self._warn(f"missing segment {segment}: {exc}")
+                self._warn(f"missing segment {segment}: {exc}", segment=segment)
                 self.misses += len(wanted)
+                tiers["miss"] += len(wanted)
                 continue
             with fh:
                 for i, key, offset, length in wanted:
@@ -301,12 +351,29 @@ class ResultCache:
                             )
                         record = self._decode_record(blob)
                     except (OSError, ValueError, KeyError, TypeError) as exc:
-                        self._warn(f"undecodable entry in {segment}@{offset}: {exc}")
+                        self._warn(
+                            f"undecodable entry in {segment}@{offset}: {exc}",
+                            dedup=("entry", segment),
+                            segment=segment,
+                            offset=offset,
+                            key=key[:12],
+                        )
                         self.misses += 1
+                        tiers["miss"] += 1
                         continue
                     out[i] = record
                     self._memory_put(key, record)
                     self.hits += 1
+                    tiers["disk"] += 1
+        self._end_warn_batch()
+        t = obs()
+        t.count("cache.get.batches")
+        t.count("cache.get.specs", len(specs))
+        for tier in ("memory", "disk", "legacy"):
+            if tiers[tier]:
+                t.count(f"cache.hits.{tier}", tiers[tier])
+        if tiers["miss"]:
+            t.count("cache.misses", tiers["miss"])
         return out
 
     def put_many(self, pairs: Iterable[tuple["RunSpec", RunRecord]]) -> int:
@@ -316,6 +383,7 @@ class ResultCache:
         pairs = list(pairs)
         if not pairs:
             return 0
+        self._begin_warn_batch()
         encoded = [
             (cache_key(spec, salt=self.salt), _encode_payload(spec, record))
             for spec, record in pairs
@@ -335,6 +403,10 @@ class ResultCache:
         self._write_index(entries)
         for (spec, record), (key, _) in zip(pairs, encoded):
             self._memory_put(key, record)
+        self._end_warn_batch()
+        t = obs()
+        t.count("cache.put.batches")
+        t.count("cache.put.entries", len(encoded))
         return len(encoded)
 
     def _pick_segment(self) -> str:
@@ -464,6 +536,7 @@ class ResultCache:
         """
         from .executor import RunSpec
 
+        self._begin_warn_batch()
         moved: list[tuple[str, bytes, int]] = []
         migrated_paths: list[Path] = []
         for path in sorted(self.root.glob("??/*.json")):

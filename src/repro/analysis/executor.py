@@ -33,6 +33,8 @@ from typing import Any, Callable, Protocol, Sequence, runtime_checkable
 
 from ..algorithms.registry import DEFAULT_ALGORITHM
 from ..errors import AnalysisError
+from ..obs import capture
+from ..obs import current as obs
 from .cache import ResultCache
 from .records import RunRecord
 
@@ -137,21 +139,27 @@ def _decode_records(rows: Sequence[Sequence[Any]]) -> list[RunRecord]:
     return [RunRecord(**dict(zip(_RECORD_FIELDS, row))) for row in rows]
 
 
-def _run_group_json(runner: CellRunner, payload: dict[str, Any]) -> list[list[Any]]:
+def _run_group_json(runner: CellRunner, payload: dict[str, Any]) -> dict[str, Any]:
     """Worker entry point: one encoded group in, encoded record rows out.
 
     Multi-cell groups route through the runner's ``run_batch`` hook
     (the lockstep multi-seed runner for both built-in runners) exactly
     as :class:`SerialExecutor` routes them, so worker-side records are
-    byte-identical to serial ones by construction.
+    byte-identical to serial ones by construction. The group runs inside
+    a worker-local telemetry capture whose counter/event dump rides back
+    alongside the rows; the parent merges the dumps in submission order,
+    which is what makes the exec-section observations of a ``--jobs N``
+    run identical to a serial one.
     """
     cells = _decode_group(payload)
-    run_batch = getattr(runner, "run_batch", None)
-    if run_batch is not None and len(cells) > 1:
-        records = run_batch(cells)
-    else:
-        records = [runner(spec) for spec in cells]
-    return _encode_records(records)
+    with capture() as t:
+        run_batch = getattr(runner, "run_batch", None)
+        if run_batch is not None and len(cells) > 1:
+            records = run_batch(cells)
+        else:
+            t.count("exec.cells.single", len(cells))
+            records = [runner(spec) for spec in cells]
+    return {"rows": _encode_records(records), "obs": t.dump()}
 
 
 @runtime_checkable
@@ -188,6 +196,8 @@ class SerialExecutor:
             from .batch import maybe_run_batched
 
             return maybe_run_batched(runner, cells)
+        if cells:
+            obs().count("exec.cells.single", len(cells))
         return [runner(spec) for spec in cells]
 
 
@@ -243,7 +253,7 @@ class ParallelExecutor:
         chunksize = max(1, len(groups) // (self.jobs * 4))
         pool, transient = self._acquire_pool()
         try:
-            encoded = list(
+            results = list(
                 pool.map(
                     partial(_run_group_json, self.runner),
                     payloads,
@@ -253,17 +263,26 @@ class ParallelExecutor:
         finally:
             if transient:
                 pool.shutdown()
+                obs().event("pool.close", workers=self.jobs, transient=True)
+        t = obs()
         records: list[RunRecord | None] = [None] * len(cells)
-        for idxs, rows in zip(groups, encoded):
-            for i, record in zip(idxs, _decode_records(rows)):
+        for idxs, result in zip(groups, results):
+            # submission order, not completion order: worker telemetry
+            # merges back exactly as a serial loop would have emitted it
+            t.merge(result["obs"])
+            for i, record in zip(idxs, _decode_records(result["rows"])):
                 records[i] = record
         return records  # type: ignore[return-value]
 
     def _acquire_pool(self) -> tuple[ProcessPoolExecutor, bool]:
         if not self.persistent:
+            obs().event("pool.start", workers=self.jobs, persistent=False)
             return ProcessPoolExecutor(max_workers=self.jobs), True
         if self._pool is None:
+            obs().event("pool.start", workers=self.jobs, persistent=True)
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        else:
+            obs().event("pool.reuse", workers=self.jobs)
         return self._pool, False
 
     def close(self) -> None:
@@ -271,6 +290,7 @@ class ParallelExecutor:
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None
+            obs().event("pool.close", workers=self.jobs, transient=False)
 
     def __enter__(self) -> "ParallelExecutor":
         return self

@@ -18,6 +18,7 @@ from pathlib import Path
 from ..algorithms import DEFAULT_ALGORITHM, algorithm_names
 from ..errors import AnalysisError
 from ..graphs.generators import FAMILIES
+from ..obs import current as obs
 from ..mdst.config import MODES
 from ..sim.delays import DELAY_NAMES
 from ..sim.faults import NO_FAULT, fault_names
@@ -186,4 +187,12 @@ def run_sweep(
     """
     if executor is None:
         executor = make_executor(jobs=jobs, cache=cache)
-    return executor.run(spec.cells())
+    from .batch import emit_group_spans
+
+    cells = spec.cells()
+    t = obs()
+    with t.span("sweep", cells=len(cells)):
+        with t.span("sweep.execute"):
+            records = executor.run(cells)
+        emit_group_spans(t, cells, records)
+    return records

@@ -27,6 +27,7 @@ from .analysis.tables import Table
 from .errors import AnalysisError, ProtocolError, TerminationError
 from .graphs.generators import FAMILIES, make_family
 from .mdst.config import MODES
+from .obs import capture, read_trace, summarize, trace_lines, write_trace
 from .sequential.exact import optimal_degree
 from .sim.delays import DELAY_NAMES, delay_model_from_name
 from .sim.faults import NO_FAULT, fault_names, fault_plan_from_name
@@ -123,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
             f"({', '.join(scheduler_names())})"
         ),
     )
+    _add_trace_args(sweep_p)
 
     compare_p = sub.add_parser(
         "compare",
@@ -250,6 +252,7 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="write report.md + report.json under DIR",
     )
+    _add_trace_args(camp_p)
 
     bench_p = sub.add_parser(
         "bench",
@@ -349,6 +352,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=25,
         help="rows per --profile table (default %(default)s)",
     )
+    _add_trace_args(bench_p)
 
     cache_p = sub.add_parser(
         "cache",
@@ -379,6 +383,21 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="pack legacy per-file entries into the segment store",
     )
+    cache_p.add_argument(
+        "--json",
+        action="store_true",
+        help="with --stats: print the stats as one machine-readable "
+        "JSON object instead of the summary line",
+    )
+
+    obs_p = sub.add_parser(
+        "obs",
+        help=(
+            "summarize a JSONL telemetry trace written by --trace-out "
+            "(span table, counters, cache hit rate)"
+        ),
+    )
+    obs_p.add_argument("trace", metavar="PATH", help="trace file to summarize")
 
     exp = sub.add_parser(
         "explore",
@@ -465,7 +484,30 @@ def build_parser() -> argparse.ArgumentParser:
         default=5,
         help="shrink at most this many distinct failures",
     )
+    _add_trace_args(exp)
     return parser
+
+
+def _add_trace_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a JSONL telemetry trace of this invocation to PATH "
+            "(summarize it with `repro obs PATH`)"
+        ),
+    )
+    p.add_argument(
+        "--trace-deterministic",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help=(
+            "keep only the deterministic trace sections (the default); "
+            "--no-trace-deterministic appends the segregated wall-clock "
+            "and environment sections"
+        ),
+    )
 
 
 def _common_axes(p: argparse.ArgumentParser) -> None:
@@ -538,6 +580,35 @@ def _stall_message(args: argparse.Namespace, exc: Exception) -> str:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out is None:
+        return _dispatch(args)
+    # telemetry wraps the whole dispatch: everything the command stack
+    # observes lands in one trace artifact. Written even on a non-zero
+    # exit — a failing run's trace is the one worth reading.
+    with capture(command=args.command) as t:
+        rc = _dispatch(args)
+    env = {
+        "jobs": getattr(args, "jobs", 1),
+        "cache": bool(getattr(args, "cache", None)),
+        "exit": rc,
+    }
+    path = write_trace(
+        trace_out, t, deterministic=args.trace_deterministic, env=env
+    )
+    print(f"trace: {path}", file=sys.stderr)
+    return rc
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    if args.command == "obs":
+        try:
+            docs = read_trace(args.trace)
+        except AnalysisError as exc:
+            print(f"obs: {exc}", file=sys.stderr)
+            return 2
+        print(summarize(docs))
+        return 0
 
     if args.command == "families":
         from .perf.spec import SUITES
@@ -761,10 +832,18 @@ def _campaign(args: argparse.Namespace) -> int:
 
 def _cache(args: argparse.Namespace) -> int:
     """``repro cache DIR --stats/--verify/--prune/--migrate``."""
+    if args.json and not args.stats:
+        print("cache: --json only applies to --stats", file=sys.stderr)
+        return 2
     cache = ResultCache(args.dir)
 
     if args.stats:
         s = cache.stats()
+        if args.json:
+            import json
+
+            print(json.dumps(s, sort_keys=True))
+            return 0
         print(
             f"cache {args.dir}: {s['entries']} packed entr(ies) in "
             f"{s['segments']} segment(s) ({s['bytes']} bytes), "
@@ -819,9 +898,11 @@ def _bench_profile(args: argparse.Namespace) -> int:
 
     kernel()  # warm-up: codec/dispatch registration, bytecode warmup
     profiler = cProfile.Profile()
-    profiler.enable()
-    kernel()
-    profiler.disable()
+    with capture(command="bench --profile") as t:
+        with t.span("bench.profile", bench=bench.name, kind=bench.kind):
+            profiler.enable()
+            kernel()
+            profiler.disable()
     out = io.StringIO()
     stats = pstats.Stats(profiler, stream=out)
     stats.sort_stats("cumulative").print_stats(args.profile_lines)
@@ -830,6 +911,13 @@ def _bench_profile(args: argparse.Namespace) -> int:
         "one profiled call after one warm-up call"
     )
     print(out.getvalue().rstrip())
+    # the span view of the same call: ties the hot functions above to
+    # the spans/counters the telemetry layer attributes them to
+    import json
+
+    docs = [json.loads(line) for line in trace_lines(t, deterministic=False)]
+    print()
+    print(summarize(docs))
     return 0
 
 

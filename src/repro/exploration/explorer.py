@@ -14,9 +14,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Sequence
 
+from ..analysis.batch import emit_group_spans
 from ..analysis.cache import ResultCache
 from ..analysis.executor import Executor, make_executor
 from ..analysis.records import RunRecord
+from ..obs import current as obs
 from .cells import ExplorationCell
 from .oracle import EXACT_LIMIT, Verdict, check_cell
 from .probe import PROBE_CACHE_SALT, probe_cell
@@ -81,20 +83,26 @@ def explore(
     cells = list(cells)
     backend = _probe_executor(executor, jobs, cache)
     specs = [spec for cell in cells for spec in cell.run_specs()]
-    records = backend.run(specs)
-    results: list[ExplorationResult] = []
-    offset = 0
-    for cell in cells:
-        width = len(cell.algorithms)
-        chunk = tuple(records[offset : offset + width])
-        offset += width
-        results.append(
-            ExplorationResult(
-                cell=cell,
-                verdict=check_cell(cell, chunk, exact_limit=exact_limit),
-                records=chunk,
-            )
-        )
+    t = obs()
+    with t.span("explore", cells=len(cells), probes=len(specs)):
+        with t.span("explore.execute"):
+            records = backend.run(specs)
+        emit_group_spans(t, specs, records, name="explore.group")
+        results: list[ExplorationResult] = []
+        offset = 0
+        with t.span("explore.judge", cells=len(cells)) as judge:
+            for cell in cells:
+                width = len(cell.algorithms)
+                chunk = tuple(records[offset : offset + width])
+                offset += width
+                results.append(
+                    ExplorationResult(
+                        cell=cell,
+                        verdict=check_cell(cell, chunk, exact_limit=exact_limit),
+                        records=chunk,
+                    )
+                )
+            judge.attrs["failures"] = sum(1 for r in results if not r.ok)
     return results
 
 

@@ -1,0 +1,42 @@
+"""``repro.obs`` — structured telemetry across the execution stack.
+
+The observability substrate: a process-local registry of counters,
+structured events and hierarchical spans (:mod:`repro.obs.telemetry`),
+exported as deterministic JSONL trace artifacts
+(:mod:`repro.obs.trace`, the ``--trace-out`` flag on ``sweep`` /
+``campaign`` / ``explore`` / ``bench``) and summarized by
+``repro obs PATH`` (:mod:`repro.obs.report`).
+
+Instrumented layers call :func:`current` and observe into whatever
+capture is active — or into the shared no-op sink when none is, so
+telemetry costs nothing and changes nothing unless a trace was asked
+for. The section contract (which observations must be byte-identical
+across which backends) is documented in :mod:`repro.obs.trace`.
+"""
+
+from .report import summarize
+from .telemetry import NULL, Span, Telemetry, capture, current, suspended
+from .trace import (
+    TRACE_LAYOUT,
+    read_trace,
+    section_of,
+    trace_lines,
+    work_section,
+    write_trace,
+)
+
+__all__ = [
+    "NULL",
+    "Span",
+    "Telemetry",
+    "capture",
+    "current",
+    "suspended",
+    "TRACE_LAYOUT",
+    "read_trace",
+    "section_of",
+    "trace_lines",
+    "work_section",
+    "write_trace",
+    "summarize",
+]

@@ -1,0 +1,212 @@
+"""Deterministic JSONL trace artifacts for :class:`~repro.obs.Telemetry`.
+
+A trace file is one JSON document per line, in a fixed order:
+
+1. a ``header`` line (layout version, command, deterministic flag);
+2. one ``span`` line per span, depth-first in tree order, carrying the
+   span's work attrs (ids are DFS positions, ``parent`` links the tree);
+3. one ``counter`` line per counter, sorted by ``(section, name)``;
+4. one ``event`` line per structured event, in emission order.
+
+Those four kinds are the **deterministic sections** — with
+``deterministic=True`` (the default everywhere) they are the whole
+file. A *full* trace appends the segregated wall-clock and environment
+sections after them:
+
+5. an ``env`` line (jobs, backend, pid — whatever the caller observed);
+6. ``event`` lines of the ``env`` section (worker-pool lifecycle);
+7. one ``wall`` line per span (``span`` id → ``start_ns`` / ``dur_ns``).
+
+so a full trace is byte-for-byte the deterministic trace plus a suffix
+(modulo the header flag), and artifact comparison can always operate on
+the deterministic prefix.
+
+Counters and events route into sections by name prefix — the section IS
+the determinism contract:
+
+========  ==================  =============================================
+section   name prefix         byte-identical across…
+========  ==================  =============================================
+work      (everything else)   every backend: serial / ``--jobs N`` /
+                              cold cache / warm cache (spans are always
+                              section ``work``)
+exec      ``exec.``           serial vs ``--jobs N`` (what physically
+                              executed; a warm cache executes nothing)
+cache     ``cache.``          any job count over the same starting cache
+                              state (tier hits depend on what's on disk)
+env       ``pool.``           nothing — volatile, stripped from
+                              deterministic traces
+========  ==================  =============================================
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import AnalysisError
+from .telemetry import Span, Telemetry
+
+__all__ = [
+    "TRACE_LAYOUT",
+    "section_of",
+    "trace_lines",
+    "write_trace",
+    "read_trace",
+    "work_section",
+]
+
+TRACE_LAYOUT = 1
+
+#: sections that appear in deterministic traces, in emission order
+DETERMINISTIC_SECTIONS = ("work", "exec", "cache")
+
+
+def section_of(name: str) -> str:
+    """The determinism section a counter/event name routes into."""
+    if name.startswith("cache."):
+        return "cache"
+    if name.startswith("exec."):
+        return "exec"
+    if name.startswith("pool."):
+        return "env"
+    return "work"
+
+
+def _dumps(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def _span_docs(roots: list[Span]) -> tuple[list[dict[str, Any]], list[Span]]:
+    """Depth-first span lines; ids are DFS positions (deterministic)."""
+    docs: list[dict[str, Any]] = []
+    flat: list[Span] = []
+    stack = [(sp, None) for sp in reversed(roots)]
+    while stack:
+        sp, parent = stack.pop()
+        sid = len(docs)
+        docs.append(
+            {"kind": "span", "id": sid, "parent": parent, "name": sp.name,
+             "attrs": sp.attrs}
+        )
+        flat.append(sp)
+        stack.extend((child, sid) for child in reversed(sp.children))
+    return docs, flat
+
+
+def trace_lines(
+    t: Telemetry,
+    *,
+    deterministic: bool = True,
+    env: dict[str, Any] | None = None,
+) -> list[str]:
+    """Render *t* into trace lines (JSON documents, newline-free)."""
+    span_docs, flat = _span_docs(t.roots)
+    lines = [
+        _dumps(
+            {
+                "kind": "header",
+                "layout": TRACE_LAYOUT,
+                "command": t.command,
+                "deterministic": deterministic,
+            }
+        )
+    ]
+    lines.extend(_dumps(doc) for doc in span_docs)
+    lines.extend(
+        _dumps(
+            {"kind": "counter", "section": section, "name": name,
+             "value": t.counters[name]}
+        )
+        for section, name in sorted(
+            (section_of(name), name) for name in t.counters
+        )
+        if section != "env"
+    )
+    lines.extend(
+        _dumps({"kind": "event", "section": section_of(name), "name": name,
+                "fields": fields})
+        for name, fields in t.events
+        if section_of(name) != "env"
+    )
+    if deterministic:
+        return lines
+    lines.append(_dumps({"kind": "env", "fields": env or {}}))
+    lines.extend(
+        _dumps({"kind": "event", "section": "env", "name": name,
+                "fields": fields})
+        for name, fields in t.events
+        if section_of(name) == "env"
+    )
+    lines.extend(
+        _dumps({"kind": "wall", "span": sid, "start_ns": sp.start_ns,
+                "dur_ns": sp.dur_ns})
+        for sid, sp in enumerate(flat)
+    )
+    return lines
+
+
+def write_trace(
+    path: str | Path,
+    t: Telemetry,
+    *,
+    deterministic: bool = True,
+    env: dict[str, Any] | None = None,
+) -> Path:
+    """Write *t* as a JSONL trace artifact; returns the path."""
+    path = Path(path)
+    if path.parent != Path("."):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    lines = trace_lines(t, deterministic=deterministic, env=env)
+    path.write_text("".join(line + "\n" for line in lines), encoding="utf-8")
+    return path
+
+
+def read_trace(path: str | Path) -> list[dict[str, Any]]:
+    """Parse a trace file back into its line documents.
+
+    Raises :class:`~repro.errors.AnalysisError` on a missing file, a
+    non-JSONL file, or an unsupported layout — the ``repro obs`` CLI
+    turns that into a friendly exit.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise AnalysisError(f"no such trace: {path} ({exc})") from exc
+    docs: list[dict[str, Any]] = []
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            doc = json.loads(line)
+            if not isinstance(doc, dict) or "kind" not in doc:
+                raise ValueError("not a trace line object")
+        except ValueError as exc:
+            raise AnalysisError(
+                f"{path}:{i}: not a telemetry trace line: {exc}"
+            ) from exc
+        docs.append(doc)
+    if not docs or docs[0].get("kind") != "header":
+        raise AnalysisError(f"{path}: missing trace header line")
+    if docs[0].get("layout") != TRACE_LAYOUT:
+        raise AnalysisError(
+            f"{path}: unsupported trace layout {docs[0].get('layout')!r} "
+            f"(this build reads layout {TRACE_LAYOUT})"
+        )
+    return docs
+
+
+def work_section(docs: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The work-section documents of a parsed trace: every span plus the
+    ``work``-section counters and events. This is the slice the
+    acceptance tests pin byte-identical across *all* backends, including
+    a fully warm cache (the header is excluded — its ``deterministic``
+    flag may differ between otherwise identical runs)."""
+    return [
+        doc
+        for doc in docs
+        if doc["kind"] == "span"
+        or (doc["kind"] in ("counter", "event") and doc.get("section") == "work")
+    ]

@@ -25,6 +25,8 @@ from ..analysis.cache import ResultCache
 from ..analysis.executor import Executor, RunSpec, execute_cell, make_executor
 from ..analysis.records import RunRecord
 from ..errors import AnalysisError
+from ..obs import current as obs
+from ..obs import suspended
 from ..rng import derive_seed
 from .baseline import (
     Baseline,
@@ -124,53 +126,72 @@ def run_suite(
     if executor is None:
         executor = make_executor(jobs=jobs, cache=cache)
 
-    # -- work pass: one deduplicated batch across every sweep bench ----
-    per_bench_cells: dict[str, tuple[RunSpec, ...]] = {
-        bench.name: bench.cells() for bench in benches if bench.kind == "sweep"
-    }
-    index: dict[RunSpec, int] = {}
-    for cells in per_bench_cells.values():
-        for cell in cells:
-            index.setdefault(cell, len(index))
-    unique_records = executor.run(list(index)) if index else []
-    executor_work = {
-        name: aggregate_work([unique_records[index[cell]] for cell in cells])
-        for name, cells in per_bench_cells.items()
-    }
-
-    # -- timing pass: warm-up + min-of-k, serial, in-process -----------
-    results = []
-    for bench in benches:
-        if bench.kind == "sweep":
-            cells = per_bench_cells[bench.name]
-
-            def run_cells(_cells: tuple[RunSpec, ...] = cells) -> dict[str, int]:
-                return aggregate_work([execute_cell(c) for c in _cells])
-
-            timing, works = _measure(
-                bench, run_cells, repeats=repeats, warmup=warmup
-            )
-            work = executor_work[bench.name]
-            if works[0] != work:
-                raise AnalysisError(
-                    f"bench {bench.name!r} diverged between the executor "
-                    f"work pass and the serial timing pass: {work!r} != "
-                    f"{works[0]!r} — lost determinism (or a poisoned cache)"
+    t = obs()
+    with t.span("bench.suite", suite=suite, benches=len(benches)):
+        # -- work pass: one deduplicated batch across every sweep bench -
+        per_bench_cells: dict[str, tuple[RunSpec, ...]] = {
+            bench.name: bench.cells() for bench in benches if bench.kind == "sweep"
+        }
+        index: dict[RunSpec, int] = {}
+        for cells in per_bench_cells.values():
+            for cell in cells:
+                index.setdefault(cell, len(index))
+        with t.span(
+            "bench.work",
+            cells=sum(len(c) for c in per_bench_cells.values()),
+            unique_cells=len(index),
+        ):
+            unique_records = executor.run(list(index)) if index else []
+        executor_work = {
+            name: aggregate_work([unique_records[index[cell]] for cell in cells])
+            for name, cells in per_bench_cells.items()
+        }
+        for bench in benches:
+            if bench.kind == "sweep":
+                t.leaf(
+                    "bench.workload",
+                    bench=bench.name,
+                    **executor_work[bench.name],
                 )
-        else:
-            timing, works = _measure(
-                bench, bench.micro(), repeats=repeats, warmup=warmup
-            )
-            work = works[0]
-        results.append(
-            BenchResult(
-                name=bench.name,
-                kind=bench.kind,
-                work=work,
-                timing=timing,
-                derived=_derived(work, timing["best"]),
-            )
-        )
+
+        # -- timing pass: warm-up + min-of-k, serial, in-process --------
+        # telemetry is masked for the whole pass: min-of-k repetition
+        # would otherwise scale every exec counter by the repeat count
+        results = []
+        with t.span("bench.timing", benches=len(benches)), suspended():
+            for bench in benches:
+                if bench.kind == "sweep":
+                    cells = per_bench_cells[bench.name]
+
+                    def run_cells(
+                        _cells: tuple[RunSpec, ...] = cells,
+                    ) -> dict[str, int]:
+                        return aggregate_work([execute_cell(c) for c in _cells])
+
+                    timing, works = _measure(
+                        bench, run_cells, repeats=repeats, warmup=warmup
+                    )
+                    work = executor_work[bench.name]
+                    if works[0] != work:
+                        raise AnalysisError(
+                            f"bench {bench.name!r} diverged between the executor "
+                            f"work pass and the serial timing pass: {work!r} != "
+                            f"{works[0]!r} — lost determinism (or a poisoned cache)"
+                        )
+                else:
+                    timing, works = _measure(
+                        bench, bench.micro(), repeats=repeats, warmup=warmup
+                    )
+                    work = works[0]
+                results.append(
+                    BenchResult(
+                        name=bench.name,
+                        kind=bench.kind,
+                        work=work,
+                        timing=timing,
+                        derived=_derived(work, timing["best"]),
+                    )
+                )
     return Baseline(
         suite=suite,
         results=tuple(results),

@@ -482,7 +482,7 @@ def group_fanout_kernel():
 
     def run() -> dict[str, int]:
         payload = _encode_group(cells)
-        records = _decode_records(_run_group_json(execute_cell, payload))
+        records = _decode_records(_run_group_json(execute_cell, payload)["rows"])
         return {
             "cells": len(records),
             "events": sum(r.events for r in records),

@@ -17,9 +17,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 from pathlib import Path
 
+from ..analysis.batch import emit_group_spans
 from ..analysis.cache import ResultCache
 from ..analysis.executor import Executor, RunSpec, make_executor
 from ..analysis.records import RunRecord
+from ..obs import current as obs
 from .spec import CampaignSpec, ScenarioSpec
 
 __all__ = ["ScenarioResult", "CampaignResult", "run_campaign"]
@@ -84,12 +86,29 @@ def run_campaign(
     index: dict[RunSpec, int] = {}
     for cell in batch:
         index.setdefault(cell, len(index))
-    unique_records = executor.run(list(index))
-    records = [unique_records[index[cell]] for cell in batch]
-    results = []
-    offset = 0
-    for sc, cells in per_scenario:
-        chunk = tuple(records[offset : offset + len(cells)])
-        offset += len(cells)
-        results.append(ScenarioResult(spec=sc, cells=cells, records=chunk))
+    t = obs()
+    with t.span(
+        "campaign",
+        scenarios=len(campaign.scenarios),
+        cells=len(batch),
+        unique_cells=len(index),
+    ):
+        with t.span("campaign.execute"):
+            unique_records = executor.run(list(index))
+        emit_group_spans(t, list(index), unique_records)
+        records = [unique_records[index[cell]] for cell in batch]
+        results = []
+        offset = 0
+        for sc, cells in per_scenario:
+            chunk = tuple(records[offset : offset + len(cells)])
+            offset += len(cells)
+            result = ScenarioResult(spec=sc, cells=cells, records=chunk)
+            results.append(result)
+            t.leaf(
+                "campaign.scenario",
+                scenario=sc.name,
+                cells=len(chunk),
+                ok=result.num_ok,
+                stalled=result.num_stalled,
+            )
     return CampaignResult(spec=campaign, results=tuple(results))

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..errors import ProtocolError, TerminationError
+from ..obs import current as obs
 from .metrics import SimulationReport
 from .network import Network
 
@@ -56,9 +57,14 @@ def run_lockstep(
     """
     if chunk < 1:
         raise ValueError(f"chunk must be >= 1, got {chunk}")
+    t = obs()
+    t.count("exec.lockstep.batches")
+    t.count("exec.lockstep.replicas", len(networks))
     reports: list[SimulationReport | None] = [None] * len(networks)
     active = list(range(len(networks)))
     while active:
+        t.count("exec.lockstep.turns")
+        t.count("exec.lockstep.chunks", len(active))
         still = []
         for i in active:
             net = networks[i]

@@ -110,3 +110,21 @@ class TestCacheArgs:
             main(["cache", str(tmp_path), "--stats", "--verify"])
         assert excinfo.value.code == 2
         assert "not allowed with" in capsys.readouterr().err
+
+
+class TestCacheStatsJson:
+    def test_golden_json_object(self, capsys, populated):
+        import json
+
+        assert main(["cache", str(populated), "--stats", "--json"]) == 0
+        out = capsys.readouterr().out
+        stats = ResultCache(populated).stats()
+        assert out == json.dumps(stats, sort_keys=True) + "\n"
+        data = json.loads(out)
+        assert data["entries"] == 2
+        assert data["legacy_files"] == 1
+        assert data["schema"] == 5
+
+    def test_json_requires_stats(self, capsys, populated):
+        assert main(["cache", str(populated), "--verify", "--json"]) == 2
+        assert "--json only applies to --stats" in capsys.readouterr().err

@@ -299,3 +299,57 @@ class TestLegacyLayout:
         assert len(cache) == 2
         assert cache.clear() == 2
         assert len(ResultCache(tmp_path)) == 0
+
+
+class TestCorruptionDedupe:
+    """Repeated identical corruption warnings collapse within one batch:
+    a torn N-entry segment warns once plus a summary line, not N times."""
+
+    def torn_store(self, tmp_path, count):
+        pairs = make_pairs(count)
+        ResultCache(tmp_path, memory_entries=0).put_many(pairs)
+        (segment,) = (tmp_path / "segments").glob("seg-*.pack")
+        segment.write_bytes(b"x" * segment.stat().st_size)
+        return pairs, ResultCache(tmp_path, memory_entries=0)
+
+    def test_torn_batch_warns_once_plus_summary(self, tmp_path):
+        import warnings
+
+        pairs, cache = self.torn_store(tmp_path, 6)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert cache.get_many([s for s, _ in pairs]) == [None] * 6
+        messages = [str(w.message) for w in caught]
+        assert len(messages) == 2
+        assert "undecodable entry" in messages[0]
+        assert "5 similar corruption warning(s) suppressed" in messages[1]
+
+    def test_dedup_resets_between_batches(self, tmp_path):
+        import warnings
+
+        pairs, cache = self.torn_store(tmp_path, 2)
+        for _ in range(2):  # each batch re-warns: dedup is per batch
+            with warnings.catch_warnings(record=True) as caught:
+                warnings.simplefilter("always")
+                assert cache.get_many([s for s, _ in pairs]) == [None, None]
+            messages = [str(w.message) for w in caught]
+            assert len(messages) == 2
+            assert "undecodable entry" in messages[0]
+            assert "1 similar corruption warning(s) suppressed" in messages[1]
+
+    def test_distinct_corruption_modes_each_warn(self, tmp_path):
+        import warnings
+
+        pairs, cache = self.torn_store(tmp_path, 2)
+        extra_spec = RunSpec(family="ring", n=8, seed=99)
+        index_path = tmp_path / "index.json"
+        data = json.loads(index_path.read_text(encoding="utf-8"))
+        data["entries"][cache_key(extra_spec)] = ["seg-00000.pack", "zero", None]
+        index_path.write_text(json.dumps(data), encoding="utf-8")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            got = cache.get_many([s for s, _ in pairs] + [extra_spec])
+        assert got == [None] * 3
+        messages = [str(w.message) for w in caught]
+        assert any("malformed index entry" in m for m in messages)
+        assert any("undecodable entry" in m for m in messages)

@@ -192,8 +192,10 @@ class TestGroupWireCodec:
         )
 
         cells = [RunSpec(family="gnp_sparse", n=12, seed=s) for s in range(3)]
-        rows = _run_group_json(execute_cell, _encode_group(cells))
-        assert _decode_records(rows) == SerialExecutor().run(cells)
+        result = _run_group_json(execute_cell, _encode_group(cells))
+        assert _decode_records(result["rows"]) == SerialExecutor().run(cells)
+        # the worker ships its telemetry home alongside the rows
+        assert result["obs"]["counters"]
 
     def test_unbatched_parallel_matches_serial(self):
         cells = SPEC.cells()

@@ -1,0 +1,213 @@
+"""CLI surface of the telemetry layer: ``--trace-out`` on the batch
+commands, the ``repro obs`` summarizer (golden output), and the
+regression guarantee that tracing never changes any pre-existing
+deterministic artifact."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.cli import main
+
+FAST = ["--repeats", "1", "--warmup", "0"]
+
+OBS_GOLDEN = """\
+trace summary — command: sweep (deterministic)
+
+spans — 3 span(s), 3 name(s)
+============================
+span           count  total [ms]  self [ms]  work
+----------------------------------------------------------------------------------------------------
+sweep              1  —           —          cells=3
+sweep.execute      1  —           —          —
+group              1  —           —          cells=3 events=87 messages=63 n=8 stalled=0 family=ring
+
+counters:
+  cache.corruption   1
+  cache.hits.disk    1
+  cache.hits.memory  2
+  cache.misses       1
+  exec.groups        1
+
+cache: 3 hit(s) (2 memory, 1 disk, 0 legacy), 1 miss(es), 1 corruption(s) — hit rate 75.0%
+
+events: 1
+  cache.corruption  x1
+"""
+
+
+def synthetic_trace(path):
+    t = obs.Telemetry(command="sweep")
+    with t.span("sweep", cells=3):
+        with t.span("sweep.execute"):
+            pass
+        t.leaf("group", family="ring", n=8, cells=3, events=87,
+               messages=63, stalled=0)
+    t.count("exec.groups")
+    t.count("cache.hits.memory", 2)
+    t.count("cache.hits.disk", 1)
+    t.count("cache.misses", 1)
+    t.count("cache.corruption", 1)
+    t.event("cache.corruption", detail="truncated segment",
+            segment="seg-00000.pack")
+    return obs.write_trace(path, t)
+
+
+class TestObsCommand:
+    def test_golden_summary(self, capsys, tmp_path):
+        path = synthetic_trace(tmp_path / "t.jsonl")
+        assert main(["obs", str(path)]) == 0
+        assert capsys.readouterr().out == OBS_GOLDEN
+
+    def test_missing_trace_exits_2(self, capsys, tmp_path):
+        assert main(["obs", str(tmp_path / "absent.jsonl")]) == 2
+        assert "no such trace" in capsys.readouterr().err
+
+    def test_malformed_trace_exits_2(self, capsys, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n", encoding="utf-8")
+        assert main(["obs", str(bad)]) == 2
+        assert "not a telemetry trace" in capsys.readouterr().err
+
+    def test_full_trace_renders_timings(self, capsys, tmp_path):
+        trace = tmp_path / "full.jsonl"
+        assert main([
+            "sweep", "--families", "ring", "--sizes", "8", "--seeds", "0",
+            "--trace-out", str(trace), "--no-trace-deterministic",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "(full)" in out
+        assert "top spans by self time:" in out
+        assert "env: " in out
+
+
+class TestTraceOut:
+    def sweep(self, trace, *extra):
+        return main([
+            "sweep", "--families", "ring", "--sizes", "8",
+            "--seeds", "0", "1", "--trace-out", str(trace), *extra,
+        ])
+
+    def test_deterministic_trace_has_no_wall_or_env_lines(
+        self, capsys, tmp_path
+    ):
+        trace = tmp_path / "t.jsonl"
+        assert self.sweep(trace) == 0
+        assert f"trace: {trace}" in capsys.readouterr().err
+        kinds = {d["kind"] for d in obs.read_trace(trace)}
+        assert kinds == {"header", "span", "counter"}
+
+    def test_full_trace_appends_wall_and_env(self, tmp_path):
+        det, full = tmp_path / "det.jsonl", tmp_path / "full.jsonl"
+        assert self.sweep(det) == 0
+        assert self.sweep(full, "--no-trace-deterministic") == 0
+        det_lines = det.read_text(encoding="utf-8").splitlines()
+        full_lines = full.read_text(encoding="utf-8").splitlines()
+        # same deterministic prefix (modulo the header flag)…
+        assert full_lines[1 : len(det_lines)] == det_lines[1:]
+        # …plus the segregated sections
+        suffix_kinds = [
+            json.loads(line)["kind"] for line in full_lines[len(det_lines) :]
+        ]
+        assert suffix_kinds[0] == "env"
+        assert set(suffix_kinds[1:]) == {"wall"}
+
+    def test_trace_is_byte_identical_serial_vs_jobs(self, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert self.sweep(a) == 0
+        assert self.sweep(b, "--jobs", "2") == 0
+        assert a.read_bytes() == b.read_bytes()
+
+
+class TestArtifactsUnchanged:
+    """--trace-out must never perturb a pre-existing deterministic
+    artifact: reports and bench work metrics stay byte-identical."""
+
+    def campaign(self, out, *extra):
+        return main([
+            "campaign", "paper_baseline", "--tiny", "--out", str(out), *extra,
+        ])
+
+    def test_campaign_reports_identical_with_and_without_trace(
+        self, capsys, tmp_path
+    ):
+        plain, traced = tmp_path / "plain", tmp_path / "traced"
+        assert self.campaign(plain) == 0
+        assert self.campaign(
+            traced, "--trace-out", str(tmp_path / "t.jsonl")
+        ) == 0
+        capsys.readouterr()
+        for name in ("report.md", "report.json"):
+            assert (plain / name).read_bytes() == (traced / name).read_bytes()
+
+    def test_bench_work_fingerprint_identical_with_and_without_trace(
+        self, capsys, tmp_path
+    ):
+        def fingerprint(*extra):
+            assert main(["bench", "--suite", "smoke", *FAST, *extra]) == 0
+            out = capsys.readouterr().out
+            return next(
+                line for line in out.splitlines()
+                if line.startswith("work fingerprint:")
+            )
+
+        plain = fingerprint()
+        traced = fingerprint("--trace-out", str(tmp_path / "t.jsonl"))
+        assert plain == traced
+
+    def test_bench_trace_counters_do_not_scale_with_repeats(self, tmp_path):
+        def counters(path, repeats):
+            assert main([
+                "bench", "--suite", "smoke", "--repeats", str(repeats),
+                "--warmup", "0", "--trace-out", str(path),
+            ]) == 0
+            return [
+                d for d in obs.read_trace(path) if d["kind"] == "counter"
+            ]
+
+        once = counters(tmp_path / "r1.jsonl", 1)
+        twice = counters(tmp_path / "r2.jsonl", 2)
+        assert once == twice  # the timing pass is telemetry-suspended
+
+
+class TestExploreTrace:
+    def test_explore_writes_a_summarizable_trace(self, capsys, tmp_path):
+        trace = tmp_path / "explore.jsonl"
+        assert main([
+            "explore", "--sizes", "6", "--seeds", "0", "--schedulers",
+            "lifo", "--trace-out", str(trace),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "command: explore" in out
+        assert "explore.judge" in out
+        assert "failures=0" in out
+
+
+class TestBenchProfileSpans:
+    def test_profile_prints_span_summary(self, capsys):
+        assert main(["bench", "--profile", "message_codec"]) == 0
+        out = capsys.readouterr().out
+        assert "profile: bench 'message_codec' (micro)" in out
+        assert "trace summary — command: bench --profile (full)" in out
+        assert "bench.profile" in out
+
+
+@pytest.mark.parametrize("command", ["sweep", "campaign", "explore", "bench"])
+def test_batch_commands_expose_trace_flags(command):
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    text = parser.format_help()
+    assert command in text  # sanity: the subcommand exists
+    sub = next(
+        a for a in parser._actions
+        if isinstance(a, __import__("argparse")._SubParsersAction)
+    )
+    help_text = sub.choices[command].format_help()
+    assert "--trace-out" in help_text
+    assert "--no-trace-deterministic" in help_text
