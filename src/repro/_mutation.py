@@ -49,6 +49,14 @@ KNOWN_MUTATIONS: dict[str, str] = {
         "fast path (metrics stay byte-identical; only wall-clock "
         "regresses — the perf gate's regression-sensitivity self-test)"
     ),
+    "drop_churn_rejoin": (
+        "a node restarting after a churn crash loses its volatile "
+        "children view on rejoin (comes back believing it is a leaf) "
+        "instead of recovering it from stable storage — reachable only "
+        "when a churn plan actually takes the node down and the "
+        "schedule rejoins it while it still has children (the fuzz "
+        "loop's regression-sensitivity self-test)"
+    ),
 }
 
 def _parse_env(value: str) -> set[str]:

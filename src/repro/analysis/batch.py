@@ -32,11 +32,12 @@ import dataclasses
 from typing import Sequence
 
 from ..algorithms import get_algorithm
-from ..errors import AnalysisError, ProtocolError, TerminationError
+from ..errors import AnalysisError, ProtocolError, StallError, TerminationError
 from ..graphs.generators import make_family
 from ..obs import Telemetry
 from ..obs import current as obs
 from ..sim.batch import run_lockstep
+from ..sim.churn import NO_CHURN, churn_plan_from_name, merge_plans
 from ..sim.delays import delay_model_from_name
 from ..sim.faults import NO_FAULT, fault_plan_from_name
 from ..sim.scheduler import scheduler_from_name
@@ -74,19 +75,48 @@ class CellTemplate:
         self.algorithm = get_algorithm(spec.algorithm)
         delay_model_from_name(spec.delay)
         scheduler_from_name(spec.scheduler)
+        churn_plan_from_name(spec.churn, 1, 0)  # eager name validation
 
     # -- seed-dependent prelude (shared by both drive paths) -----------
 
     def setup(self, seed: int):
-        """Instance shape for one seed: graph, startup tree, fault plan."""
+        """Instance shape for one seed: graph, startup tree, wrapper plan.
+
+        The per-node wrapper plan composes the churn plan (innermost —
+        churn instruments the bare process) with the fault plan, exactly
+        once per seed.
+        """
         s = self.spec
         graph = make_family(s.family, s.n, seed=seed)
         startup = build_spanning_tree(graph, method=s.initial_method, seed=seed)
         startup_messages = (
             startup.report.total_messages if startup.report is not None else 0
         )
-        plan = fault_plan_from_name(s.fault, graph.n, seed)
+        plan = merge_plans(
+            churn_plan_from_name(s.churn, graph.n, seed),
+            fault_plan_from_name(s.fault, graph.n, seed),
+        )
         return graph, startup, startup_messages, plan
+
+    def flattens(self, exc: Exception) -> bool:
+        """Does this protocol failure flatten into a ``stalled`` record?
+
+        Under a fault plan every :class:`TerminationError` /
+        :class:`ProtocolError` does — the paper's reliability assumption
+        is broken outright, so "the protocol gave up" is the certified
+        outcome. Under churn (lossless, in-order — schedule-equivalent
+        to admissible asynchrony) only genuine stalls do: stranded held
+        events surface as :class:`StallError` (quiescent, unfinished
+        nodes) or :class:`TerminationError` (event-budget cap). Any
+        other protocol error under churn is *corruption* and propagates
+        as a real bug.
+        """
+        s = self.spec
+        if s.fault != NO_FAULT:
+            return True
+        return s.churn != NO_CHURN and isinstance(
+            exc, (TerminationError, StallError)
+        )
 
     # -- drive ----------------------------------------------------------
 
@@ -105,8 +135,8 @@ class CellTemplate:
                 faults=plan or None,
                 scheduler=scheduler_from_name(s.scheduler),
             )
-        except (TerminationError, ProtocolError):
-            if s.fault == NO_FAULT:
+        except (TerminationError, ProtocolError) as exc:
+            if not self.flattens(exc):
                 raise
             return self.stalled_record(seed, graph, startup, startup_messages)
         return self.ok_record(seed, graph, startup_messages, result)
@@ -136,6 +166,7 @@ class CellTemplate:
             max_rounds=s.max_rounds,
             fault=s.fault,
             scheduler=s.scheduler,
+            churn=s.churn,
         )
 
     def stalled_record(self, seed, graph, startup, startup_messages) -> RunRecord:
@@ -160,6 +191,7 @@ class CellTemplate:
             max_rounds=s.max_rounds,
             fault=s.fault,
             scheduler=s.scheduler,
+            churn=s.churn,
             outcome="stalled",
         )
 
@@ -236,7 +268,7 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
             meta.append((graph, startup, startup_messages))
 
     errors: dict[int, Exception] = {}
-    if s.fault == NO_FAULT:
+    if s.fault == NO_FAULT and s.churn == NO_CHURN:
         # certified-or-raise: the first failure aborts the whole group,
         # exactly as it aborts a serial sweep
         reports = run_lockstep(nets)
@@ -247,14 +279,18 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
         seed = cells[i].seed
         graph, startup, startup_messages = meta[j]
         if j in errors:
+            if not template.flattens(errors[j]):
+                # corruption under churn: a real bug aborts the group,
+                # exactly as it aborts a serial sweep
+                raise errors[j]
             records[i] = template.stalled_record(
                 seed, graph, startup, startup_messages
             )
             continue
         try:
             result = finals[j](reports[j])
-        except (TerminationError, ProtocolError):
-            if s.fault == NO_FAULT:
+        except (TerminationError, ProtocolError) as exc:
+            if not template.flattens(exc):
                 raise
             records[i] = template.stalled_record(
                 seed, graph, startup, startup_messages
@@ -313,6 +349,7 @@ def emit_group_spans(
             algorithm=spec.algorithm,
             fault=spec.fault,
             scheduler=spec.scheduler,
+            churn=spec.churn,
             cells=len(group),
             events=sum(r.events for r in group),
             messages=sum(r.messages for r in group),

@@ -73,7 +73,12 @@ __all__ = [
 #: v5: records gained the ``events`` work metric (perf-trajectory PR) —
 #: a v4 entry would deserialize with events=0 and silently zero the
 #: benchmark gate's primary work metric.
-CACHE_SCHEMA_VERSION = 5
+#: v6: records/specs gained the ``churn`` axis (mid-run crash-restart /
+#: link-flap plans, fuzzing PR) — a v5 entry has no churn field, so a
+#: churned run would alias the churn-free cell. Replay-scheduler
+#: choice-prefixes also enter the key in this version (as canonical
+#: ``replay:...`` spec strings in the ``scheduler`` field).
+CACHE_SCHEMA_VERSION = 6
 
 #: Default LRU budget of the in-memory tier (entries, not bytes — records
 #: are small, flat dataclasses). 0 disables the tier.

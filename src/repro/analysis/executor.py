@@ -70,8 +70,12 @@ class RunSpec:
     fault: str = "none"
     #: named scheduler policy (see
     #: :func:`repro.sim.scheduler.scheduler_from_name`); ``"none"`` is the
-    #: normal time-based schedule
+    #: normal time-based schedule. Replay schedules travel here as
+    #: canonical ``replay:<fallback>:<prefix>`` spec strings, so the
+    #: choice-prefix is part of the spec — and of the cache key.
     scheduler: str = "none"
+    #: named churn plan (see :func:`repro.sim.churn.churn_plan_from_name`)
+    churn: str = "none"
 
     def to_json_dict(self) -> dict[str, Any]:
         return asdict(self)
@@ -104,6 +108,7 @@ def execute_cell(spec: RunSpec) -> RunRecord:
         algorithm=spec.algorithm,
         fault=spec.fault,
         scheduler=spec.scheduler,
+        churn=spec.churn,
     )
 
 

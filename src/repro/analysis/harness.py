@@ -20,9 +20,10 @@ from ..errors import AnalysisError
 from ..graphs.generators import FAMILIES
 from ..obs import current as obs
 from ..mdst.config import MODES
+from ..sim.churn import NO_CHURN, churn_names
 from ..sim.delays import DELAY_NAMES
 from ..sim.faults import NO_FAULT, fault_names
-from ..sim.scheduler import NO_SCHEDULER, scheduler_names
+from ..sim.scheduler import NO_SCHEDULER, scheduler_from_name, scheduler_names
 from ..spanning.provider import CENTRALIZED_METHODS, DISTRIBUTED_METHODS
 from .cache import ResultCache
 from .executor import Executor, RunSpec, make_executor
@@ -39,6 +40,17 @@ def _check_axis(values: tuple[str, ...], valid: tuple[str, ...], axis: str) -> N
         raise AnalysisError(
             f"unknown {axis} {unknown!r}; valid choices: {sorted(valid)}"
         )
+
+
+def check_scheduler_axis(values: tuple[str, ...]) -> None:
+    """Validate a scheduler axis: registered names plus canonical
+    ``replay:...`` spec strings (which are not enumerable, so plain
+    membership in :func:`scheduler_names` would reject them)."""
+    for value in values:
+        try:
+            scheduler_from_name(value)
+        except ValueError as exc:
+            raise AnalysisError(str(exc)) from None
 
 
 @dataclass(frozen=True)
@@ -64,6 +76,7 @@ class SweepSpec:
     algorithms: tuple[str, ...] = (DEFAULT_ALGORITHM,)
     faults: tuple[str, ...] = (NO_FAULT,)
     schedulers: tuple[str, ...] = (NO_SCHEDULER,)
+    churns: tuple[str, ...] = (NO_CHURN,)
     max_rounds: int | None = None
 
     def __post_init__(self) -> None:
@@ -77,6 +90,7 @@ class SweepSpec:
             and self.algorithms
             and self.faults
             and self.schedulers
+            and self.churns
         ):
             raise AnalysisError("sweep axes must be non-empty")
         _check_axis(self.families, tuple(FAMILIES), "family")
@@ -85,7 +99,8 @@ class SweepSpec:
         _check_axis(self.delays, DELAY_NAMES, "delay model")
         _check_axis(self.algorithms, algorithm_names(), "algorithm")
         _check_axis(self.faults, fault_names(), "fault plan")
-        _check_axis(self.schedulers, scheduler_names(), "scheduler policy")
+        check_scheduler_axis(self.schedulers)
+        _check_axis(self.churns, churn_names(), "churn plan")
         bad_sizes = [n for n in self.sizes if n < 1]
         if bad_sizes:
             raise AnalysisError(f"sizes must be >= 1, got {bad_sizes!r}")
@@ -104,6 +119,7 @@ class SweepSpec:
                 algorithm=algorithm,
                 fault=fault,
                 scheduler=scheduler,
+                churn=churn,
             )
             for family in self.families
             for n in self.sizes
@@ -111,6 +127,7 @@ class SweepSpec:
             for mode in self.modes
             for delay in self.delays
             for scheduler in self.schedulers
+            for churn in self.churns
             for algorithm in self.algorithms
             for fault in self.faults
             for seed in self.seeds
@@ -129,6 +146,7 @@ def run_single(
     algorithm: str = DEFAULT_ALGORITHM,
     fault: str = NO_FAULT,
     scheduler: str = NO_SCHEDULER,
+    churn: str = NO_CHURN,
 ) -> RunRecord:
     """Run one configuration and flatten it into a record.
 
@@ -138,6 +156,15 @@ def run_single(
     record with zeroed metrics instead of raising, so fault scenarios
     can tabulate stall rates next to completed runs. Without a fault the
     exception propagates: stalling under the reliable model is a bug.
+
+    A named *churn* plan (:mod:`repro.sim.churn`) follows the same
+    dichotomy, but narrower: only genuine stalls
+    (:class:`~repro.errors.StallError` /
+    :class:`~repro.errors.TerminationError` — stranded held events) are
+    flattened to ``outcome="stalled"``. Lossless in-order churn is
+    schedule-equivalent to admissible asynchrony, so any *other*
+    protocol error under churn is corruption and propagates as a real
+    bug.
 
     A named *scheduler* policy hands delivery ordering to an adversary
     (the *delay* axis is then inert). Protocol failures under an
@@ -160,6 +187,7 @@ def run_single(
             algorithm=algorithm,
             fault=fault,
             scheduler=scheduler,
+            churn=churn,
         )
     )
     return template.run(seed)

@@ -53,9 +53,14 @@ class RunRecord:
     #: runs of the same spec under different schedules never alias —
     #: in tables, artifacts, or cache keys.
     scheduler: str = "none"
-    #: "ok" for a certified run; "stalled" when an injected fault made
-    #: the protocol stall loudly (metrics fields are then zeroed and
-    #: ``k_final`` repeats ``k_initial`` — no improvement was certified)
+    #: named churn plan applied to the run ("none" = no mid-run churn;
+    #: see :func:`repro.sim.churn.churn_plan_from_name`). Records saved
+    #: before the churn axis existed load as churn-free.
+    churn: str = "none"
+    #: "ok" for a certified run; "stalled" when an injected fault or a
+    #: stranding churn plan made the protocol stall loudly (metrics
+    #: fields are then zeroed and ``k_final`` repeats ``k_initial`` —
+    #: no improvement was certified)
     outcome: str = "ok"
     extra: dict[str, Any] = field(default_factory=dict)
 

@@ -7,6 +7,7 @@ Subcommands
 ``compare``   head-to-head of registered algorithms on one instance
 ``campaign``  run a named / file-based scenario campaign into a report
 ``explore``   adversarial schedule exploration + counterexample shrinking
+``fuzz``      coverage-guided schedule fuzzing with mid-run churn
 ``bench``     run a benchmark suite; record, compare and gate baselines
 ``cache``     inspect / verify / prune / migrate a packed result cache
 ``exact``     ground-truth Δ* for a small instance
@@ -24,11 +25,17 @@ from .algorithms import DEFAULT_ALGORITHM, algorithm_names, get_algorithm
 from .analysis.cache import ResultCache
 from .analysis.harness import SweepSpec, run_single, run_sweep
 from .analysis.tables import Table
-from .errors import AnalysisError, ProtocolError, TerminationError
+from .errors import AnalysisError, ProtocolError, StallError, TerminationError
 from .graphs.generators import FAMILIES, make_family
 from .mdst.config import MODES
 from .obs import capture, read_trace, summarize, trace_lines, write_trace
 from .sequential.exact import optimal_degree
+from .sim.churn import (
+    NO_CHURN,
+    churn_names,
+    churn_plan_from_name,
+    merge_plans,
+)
 from .sim.delays import DELAY_NAMES, delay_model_from_name
 from .sim.faults import NO_FAULT, fault_names, fault_plan_from_name
 from .sim.scheduler import NO_SCHEDULER, scheduler_from_name, scheduler_names
@@ -124,6 +131,14 @@ def build_parser() -> argparse.ArgumentParser:
             f"({', '.join(scheduler_names())})"
         ),
     )
+    sweep_p.add_argument(
+        "--churn",
+        nargs="+",
+        default=[NO_CHURN],
+        choices=list(churn_names()),
+        metavar="PLAN",
+        help=f"named churn plan(s) to sweep ({', '.join(churn_names())})",
+    )
     _add_trace_args(sweep_p)
 
     compare_p = sub.add_parser(
@@ -163,6 +178,16 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "adversarial scheduler policy ordering every algorithm's "
             f"deliveries ({', '.join(scheduler_names())})"
+        ),
+    )
+    compare_p.add_argument(
+        "--churn",
+        default=NO_CHURN,
+        choices=list(churn_names()),
+        metavar="PLAN",
+        help=(
+            "named mid-run churn plan applied to every algorithm "
+            f"({', '.join(churn_names())}); stalled runs are tabulated"
         ),
     )
     compare_p.add_argument(
@@ -431,6 +456,14 @@ def build_parser() -> argparse.ArgumentParser:
         help=f"scheduler policies to explore ({', '.join(scheduler_names())})",
     )
     exp.add_argument(
+        "--churns",
+        nargs="+",
+        default=[NO_CHURN],
+        choices=list(churn_names()),
+        metavar="PLAN",
+        help=f"named churn plan(s) to explore ({', '.join(churn_names())})",
+    )
+    exp.add_argument(
         "--delay",
         default="unit",
         choices=list(DELAY_NAMES),
@@ -485,6 +518,123 @@ def build_parser() -> argparse.ArgumentParser:
         help="shrink at most this many distinct failures",
     )
     _add_trace_args(exp)
+
+    fz = sub.add_parser(
+        "fuzz",
+        help=(
+            "coverage-guided schedule fuzzing: mutate replay prefixes + "
+            "mid-run churn toward new behaviour; shrink any failure"
+        ),
+    )
+    fz.add_argument(
+        "--list",
+        action="store_true",
+        help=(
+            "list mutation operators, churn plans, fallback policies "
+            "and campaign defaults, then exit"
+        ),
+    )
+    fz.add_argument(
+        "--family",
+        default="gnp_sparse",
+        choices=_FAMILY_CHOICES,
+        metavar="FAMILY",
+        help=f"workload family ({', '.join(_FAMILY_CHOICES)})",
+    )
+    fz.add_argument("--sizes", nargs="+", type=int, default=[6, 8])
+    fz.add_argument(
+        "--seeds",
+        nargs="+",
+        type=int,
+        default=list(range(4)),
+        help="round-zero instance seeds (mutations explore beyond them)",
+    )
+    fz.add_argument(
+        "--fallbacks",
+        nargs="+",
+        default=["random", "lifo"],
+        metavar="POLICY",
+        help=(
+            "fallback policies finishing a schedule past its replay "
+            "prefix (registered policies except 'none')"
+        ),
+    )
+    fz.add_argument(
+        "--churns",
+        nargs="+",
+        default=["none", "restart_one", "restart_wave"],
+        choices=list(churn_names()),
+        metavar="PLAN",
+        help=f"churn plans in play ({', '.join(churn_names())})",
+    )
+    fz.add_argument(
+        "--budget",
+        type=int,
+        default=64,
+        help="total cells probed before the campaign stops",
+    )
+    fz.add_argument(
+        "--batch",
+        type=int,
+        default=8,
+        help="cells per probe batch (one executor round-trip each)",
+    )
+    fz.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="fuzzer mutation seed (campaigns are deterministic in it)",
+    )
+    fz.add_argument(
+        "--max-prefix",
+        type=int,
+        default=64,
+        help="hard cap on mutated replay-prefix length",
+    )
+    fz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (reports are byte-identical for any value)",
+    )
+    fz.add_argument(
+        "--cache",
+        default=None,
+        metavar="DIR",
+        help="probe result-cache directory (salted; safe to share a disk "
+        "location with sweep caches)",
+    )
+    fz.add_argument(
+        "--corpus",
+        default=None,
+        metavar="DIR",
+        help="seed the campaign from a directory of replay artifacts",
+    )
+    fz.add_argument(
+        "--out",
+        default="counterexamples",
+        metavar="DIR",
+        help="directory for shrunk counterexample artifacts",
+    )
+    fz.add_argument(
+        "--exact-limit",
+        type=int,
+        default=12,
+        help="largest n the oracle solves exactly",
+    )
+    fz.add_argument(
+        "--max-shrink",
+        type=int,
+        default=4,
+        help="shrink at most this many distinct failures",
+    )
+    fz.add_argument(
+        "--shrink-probes",
+        type=int,
+        default=120,
+        help="shrinker probe budget per counterexample",
+    )
+    _add_trace_args(fz)
     return parser
 
 
@@ -552,12 +702,25 @@ def _common_axes(p: argparse.ArgumentParser) -> None:
             f"({', '.join(scheduler_names())}; bypasses --delay)"
         ),
     )
+    p.add_argument(
+        "--churn",
+        default=NO_CHURN,
+        choices=list(churn_names()),
+        metavar="PLAN",
+        help=(
+            "named mid-run churn plan — crash-restart / link-flap "
+            f"({', '.join(churn_names())})"
+        ),
+    )
 
 
 def _run_once(args: argparse.Namespace):
     graph = make_family(args.family, args.n, seed=args.seed)
     startup = build_spanning_tree(graph, method=args.initial, seed=args.seed)
-    plan = fault_plan_from_name(args.fault, graph.n, args.seed)
+    plan = merge_plans(
+        churn_plan_from_name(args.churn, graph.n, args.seed),
+        fault_plan_from_name(args.fault, graph.n, args.seed),
+    )
     result = get_algorithm(args.algorithm).run(
         graph,
         startup.tree,
@@ -570,11 +733,28 @@ def _run_once(args: argparse.Namespace):
     return result
 
 
+def _flattens(args: argparse.Namespace, exc: Exception) -> bool:
+    """Is this failure the expected loud stall of the requested fault /
+    churn plan (exit 1 + message) rather than a bug (propagate)?
+    Mirrors :meth:`repro.analysis.batch.CellTemplate.flattens`."""
+    if args.fault != NO_FAULT:
+        return True
+    return args.churn != NO_CHURN and isinstance(
+        exc, (TerminationError, StallError)
+    )
+
+
 def _stall_message(args: argparse.Namespace, exc: Exception) -> str:
+    if args.fault != NO_FAULT:
+        return (
+            f"run stalled under fault plan {args.fault!r} "
+            f"(the paper assumes reliable channels and non-crashing "
+            f"processors): {exc}"
+        )
     return (
-        f"run stalled under fault plan {args.fault!r} "
-        f"(the paper assumes reliable channels and non-crashing "
-        f"processors): {exc}"
+        f"run stalled under churn plan {args.churn!r} "
+        f"(a stranding plan stalls loudly; corruption would have "
+        f"raised): {exc}"
     )
 
 
@@ -620,6 +800,7 @@ def _dispatch(args: argparse.Namespace) -> int:
             ("algorithms", list(algorithm_names())),
             ("fault plans", list(fault_names())),
             ("scheduler policies", list(scheduler_names())),
+            ("churn plans", list(churn_names())),
             ("scenarios", sorted(SCENARIOS)),
             ("bench suites", list(SUITES)),
         ]
@@ -641,7 +822,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         try:
             result = _run_once(args)
         except (TerminationError, ProtocolError) as exc:
-            if args.fault == NO_FAULT:
+            if not _flattens(args, exc):
                 raise
             print(_stall_message(args, exc), file=sys.stderr)
             return 1
@@ -657,7 +838,7 @@ def _dispatch(args: argparse.Namespace) -> int:
         try:
             result = _run_once(args)
         except (TerminationError, ProtocolError) as exc:
-            if args.fault == NO_FAULT:
+            if not _flattens(args, exc):
                 raise
             print(_stall_message(args, exc), file=sys.stderr)
             return 1
@@ -684,7 +865,10 @@ def _dispatch(args: argparse.Namespace) -> int:
                 f"m={graph.m} seed={args.seed}"
             ),
         )
-        plan = fault_plan_from_name(args.fault, graph.n, args.seed)
+        plan = merge_plans(
+            churn_plan_from_name(args.churn, graph.n, args.seed),
+            fault_plan_from_name(args.fault, graph.n, args.seed),
+        )
         for name in names:
             try:
                 result = get_algorithm(name).run(
@@ -695,8 +879,8 @@ def _dispatch(args: argparse.Namespace) -> int:
                     faults=plan or None,
                     scheduler=scheduler_from_name(args.scheduler),
                 )
-            except (TerminationError, ProtocolError):
-                if args.fault == NO_FAULT:
+            except (TerminationError, ProtocolError) as exc:
+                if not _flattens(args, exc):
                     raise
                 k0 = startup.tree.max_degree()
                 table.add(name, k0, "stalled", "—", "—", "—", "—")
@@ -726,20 +910,21 @@ def _dispatch(args: argparse.Namespace) -> int:
             algorithms=tuple(args.algorithm),
             faults=tuple(args.fault),
             schedulers=tuple(args.scheduler),
+            churns=tuple(args.churn),
         )
         cache = ResultCache(args.cache) if args.cache else None
         records = run_sweep(spec, jobs=args.jobs, cache=cache)
         table = Table(
             [
                 "algorithm", "family", "n", "m", "seed", "fault", "sched",
-                "k0", "k*", "rounds", "msgs", "time",
+                "churn", "k0", "k*", "rounds", "msgs", "time",
             ],
             title="MDegST sweep",
         )
         for r in records:
             table.add(
                 r.algorithm, r.family, r.n, r.m, r.seed, r.fault,
-                r.scheduler,
+                r.scheduler, r.churn,
                 r.k_initial,
                 r.k_final if r.ok else r.outcome,
                 r.rounds, r.messages, r.causal_time,
@@ -764,6 +949,9 @@ def _dispatch(args: argparse.Namespace) -> int:
 
     if args.command == "explore":
         return _explore(args)
+
+    if args.command == "fuzz":
+        return _fuzz(args)
 
     return 1  # pragma: no cover - argparse enforces commands
 
@@ -1073,6 +1261,7 @@ def _explore(args: argparse.Namespace) -> int:
             seeds=tuple(args.seeds),
             schedulers=tuple(args.schedulers),
             delays=(args.delay,),
+            churns=tuple(args.churns),
             initial_method=args.initial,
         )
     results = explore(
@@ -1109,6 +1298,96 @@ def _explore(args: argparse.Namespace) -> int:
             print(f"  [{code}] {detail}")
         print(f"  artifact: {path}")
     skipped = len(failures) - min(len(failures), args.max_shrink)
+    if skipped:
+        print(f"\n({skipped} further failing cell(s) not shrunk; "
+              f"raise --max-shrink to cover them)")
+    return 1
+
+
+def _fuzz(args: argparse.Namespace) -> int:
+    from .exploration import (
+        MUTATION_OPS,
+        FuzzSpec,
+        load_corpus_cells,
+        run_fuzz,
+        write_artifact,
+    )
+
+    if args.list:
+        spec = FuzzSpec()
+        print("mutation operators:")
+        for name, desc in MUTATION_OPS.items():
+            print(f"  {name:<12}{desc}")
+        print()
+        print("churn plans:")
+        for name in churn_names():
+            print(f"  {name}")
+        print()
+        print("fallback policies:")
+        for name in scheduler_names():
+            if name not in (NO_SCHEDULER, "replay"):
+                print(f"  {name}")
+        print()
+        print(
+            f"defaults: budget={spec.budget} batch={spec.batch} "
+            f"max_prefix={spec.max_prefix} family={spec.family} "
+            f"sizes={list(spec.sizes)} seeds={list(spec.seeds)} "
+            f"fallbacks={list(spec.fallbacks)} churns={list(spec.churns)}"
+        )
+        return 0
+
+    spec = FuzzSpec(
+        family=args.family,
+        sizes=tuple(args.sizes),
+        seeds=tuple(args.seeds),
+        fallbacks=tuple(args.fallbacks),
+        churns=tuple(args.churns),
+        seed=args.seed,
+        budget=args.budget,
+        batch=args.batch,
+        max_prefix=args.max_prefix,
+        exact_limit=args.exact_limit,
+    )
+    seed_corpus = load_corpus_cells(args.corpus) if args.corpus else ()
+    report = run_fuzz(
+        spec,
+        jobs=args.jobs,
+        cache=args.cache,
+        seed_corpus=seed_corpus,
+        max_shrink=args.max_shrink,
+        shrink_probes=args.shrink_probes,
+    )
+    print(
+        f"fuzzed {report.probed} cells in {report.rounds} round(s): "
+        f"{report.coverage} coverage bucket(s), "
+        f"{len(report.corpus)} corpus entries, "
+        f"{len(report.failures)} failure(s)"
+    )
+    print(f"coverage digest: {report.coverage_digest}")
+    print(f"corpus digest:   {report.corpus_digest}")
+    if report.ok:
+        return 0
+    for outcome in report.shrunk:
+        path = write_artifact(
+            args.out,
+            outcome.result,
+            note=(
+                "found by repro fuzz; shrunk from "
+                f"{outcome.original.canonical()}"
+            ),
+        )
+        print()
+        print(f"counterexample: {outcome.original.canonical()}")
+        print(
+            f"  shrunk ({outcome.probes} probes) -> "
+            f"{outcome.cell.canonical()}"
+        )
+        for code, detail in zip(
+            outcome.result.verdict.failures, outcome.result.verdict.details
+        ):
+            print(f"  [{code}] {detail}")
+        print(f"  artifact: {path}")
+    skipped = len(report.failures) - len(report.shrunk)
     if skipped:
         print(f"\n({skipped} further failing cell(s) not shrunk; "
               f"raise --max-shrink to cover them)")

@@ -44,6 +44,19 @@ class TerminationError(ProtocolError):
     """A protocol failed to terminate (hit the step/eventcount safety cap)."""
 
 
+class StallError(ProtocolError):
+    """The network went quiescent with non-terminated nodes.
+
+    A *stall*: no events remain but some process never reached its
+    terminated state — the "protocol gives up loudly" half of the
+    certify-or-stall dichotomy under fault and churn plans. Kept
+    distinct from other :class:`ProtocolError` conditions (which signal
+    *corruption*: a structurally wrong tree or an invariant violation)
+    so harnesses can flatten stalls to ``outcome="stalled"`` while
+    still propagating corruption as a failure.
+    """
+
+
 class VerificationError(ReproError):
     """A post-hoc verification (spanning tree, local optimality) failed."""
 

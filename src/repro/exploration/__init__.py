@@ -9,7 +9,13 @@ small instances, cross-algorithm agreement), delta-debugs any failure
 down to the smallest (n, seed, policy) triple, and pins both fresh
 counterexamples and fixed regressions as replayable JSON artifacts.
 
-Entry points: ``python -m repro explore`` (CLI),
+On top of the fixed grid, :mod:`repro.exploration.fuzz` runs
+coverage-guided campaigns: schedules become mutable replay prefixes,
+probe records feed a coverage map, and the corpus evolves toward
+behaviours the grid never reaches (mid-run churn included).
+
+Entry points: ``python -m repro explore`` / ``python -m repro fuzz``
+(CLI),
 :func:`~repro.exploration.explorer.explore` /
 :func:`~repro.exploration.shrink.shrink` (library), and the regression
 corpus replayed by ``tests/test_exploration.py``.
@@ -31,6 +37,18 @@ from .cells import (
     tiny_grid,
 )
 from .explorer import ExplorationResult, explore, explore_one
+from .fuzz import (
+    MUTATION_OPS,
+    CoverageMap,
+    FuzzReport,
+    FuzzSpec,
+    corpus_digest,
+    load_corpus_cells,
+    mutate_cell,
+    record_signature,
+    result_signature,
+    run_fuzz,
+)
 from .oracle import EXACT_LIMIT, Verdict, check_cell
 from .probe import PROBE_CACHE_SALT, probe_cell
 from .shrink import ShrinkOutcome, shrink
@@ -50,6 +68,16 @@ __all__ = [
     "explore_one",
     "ShrinkOutcome",
     "shrink",
+    "FuzzSpec",
+    "FuzzReport",
+    "run_fuzz",
+    "CoverageMap",
+    "MUTATION_OPS",
+    "mutate_cell",
+    "record_signature",
+    "result_signature",
+    "load_corpus_cells",
+    "corpus_digest",
     "ARTIFACT_SCHEMA",
     "artifact_name",
     "artifact_bytes",

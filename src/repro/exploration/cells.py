@@ -22,10 +22,12 @@ from typing import Any
 
 from ..algorithms import algorithm_names
 from ..analysis.executor import RunSpec
+from ..analysis.harness import check_scheduler_axis
 from ..errors import AnalysisError
 from ..graphs.generators import FAMILIES
+from ..sim.churn import NO_CHURN, churn_names
 from ..sim.delays import DELAY_NAMES
-from ..sim.scheduler import NO_SCHEDULER, scheduler_names
+from ..sim.scheduler import NO_SCHEDULER
 
 __all__ = ["ExplorationCell", "exploration_grid", "tiny_grid", "DEFAULT_ALGORITHMS"]
 
@@ -49,6 +51,9 @@ class ExplorationCell:
     initial_method: str = "random"
     mode: str = "concurrent"
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS
+    #: named churn plan (see :func:`repro.sim.churn.churn_plan_from_name`);
+    #: cells saved before the churn axis existed load as churn-free
+    churn: str = NO_CHURN
 
     def __post_init__(self) -> None:
         if self.n < 1:
@@ -75,6 +80,7 @@ class ExplorationCell:
                 delay=self.delay,
                 algorithm=algorithm,
                 scheduler=self.scheduler,
+                churn=self.churn,
             )
             for algorithm in self.algorithms
         )
@@ -116,6 +122,7 @@ def exploration_grid(
     seeds: tuple[int, ...] = tuple(range(8)),
     schedulers: tuple[str, ...] = ("lifo", "random", "starve"),
     delays: tuple[str, ...] = ("unit",),
+    churns: tuple[str, ...] = (NO_CHURN,),
     initial_method: str = "random",
     mode: str = "concurrent",
     algorithms: tuple[str, ...] = DEFAULT_ALGORITHMS,
@@ -127,8 +134,9 @@ def exploration_grid(
     with policies would enumerate duplicate schedules.
     """
     _check(families, tuple(FAMILIES), "family")
-    _check(schedulers, scheduler_names(), "scheduler policy")
+    check_scheduler_axis(schedulers)
     _check(delays, DELAY_NAMES, "delay model")
+    _check(churns, churn_names(), "churn plan")
     _check(algorithms, algorithm_names(), "algorithm")
     cells = []
     for family in families:
@@ -136,19 +144,21 @@ def exploration_grid(
             for scheduler in schedulers:
                 cell_delays = delays if scheduler == NO_SCHEDULER else delays[:1]
                 for delay in cell_delays:
-                    for seed in seeds:
-                        cells.append(
-                            ExplorationCell(
-                                family=family,
-                                n=n,
-                                seed=seed,
-                                scheduler=scheduler,
-                                delay=delay,
-                                initial_method=initial_method,
-                                mode=mode,
-                                algorithms=algorithms,
+                    for churn in churns:
+                        for seed in seeds:
+                            cells.append(
+                                ExplorationCell(
+                                    family=family,
+                                    n=n,
+                                    seed=seed,
+                                    scheduler=scheduler,
+                                    delay=delay,
+                                    initial_method=initial_method,
+                                    mode=mode,
+                                    algorithms=algorithms,
+                                    churn=churn,
+                                )
                             )
-                        )
     return tuple(cells)
 
 

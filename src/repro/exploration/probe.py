@@ -78,6 +78,7 @@ def probe_cell(spec: RunSpec) -> RunRecord:
             max_rounds=spec.max_rounds,
             fault=spec.fault,
             scheduler=spec.scheduler,
+            churn=spec.churn,
             outcome="error",
             extra={"error": f"{type(exc).__name__}: {exc}"},
         )

@@ -7,10 +7,16 @@ in fixed priority order:
    3-node floor: probes at small n are the cheap ones, and the first
    hit is by construction the minimum);
 2. **seed** — smallest failing seed in ``[0, seed)``;
-3. **scheduler** — simplest failing policy, where "simpler" is the fixed
+3. **churn** — a bug that fires without mid-run churn beats one that
+   needs a churn plan, so the churn-free cell is tried first;
+4. **scheduler** — simplest failing policy, where "simpler" is the fixed
    ladder ``none < fifo < lifo < starve < random`` (a bug that fires
    under time-based or deterministic scheduling beats one needing a
-   seeded random walk).
+   seeded random walk); replay spec strings rank after every registered
+   name;
+5. **replay prefix** — for a ``replay:...`` schedule, the shortest
+   still-failing choice-prefix (upward scan, so the first hit is the
+   minimum), with the fallback policy untouched.
 
 Each candidate is probed serially (memoized — the fixpoint passes never
 re-run a cell they already judged) and kept only if the oracle still
@@ -26,7 +32,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import AnalysisError
-from ..sim.scheduler import NO_SCHEDULER, scheduler_names
+from ..sim.churn import NO_CHURN
+from ..sim.scheduler import (
+    NO_SCHEDULER,
+    is_replay_spec,
+    parse_replay_spec,
+    replay_spec,
+    scheduler_names,
+)
 from .cells import ExplorationCell
 from .explorer import ExplorationResult, explore_one
 from .oracle import EXACT_LIMIT
@@ -113,7 +126,14 @@ def shrink(
                 changed = True
                 break
 
-        # 3. simplest failing scheduler policy
+        # 3. churn-free beats churned
+        if current.cell.churn != NO_CHURN:
+            hit = still_fails(current.cell.with_(churn=NO_CHURN))
+            if hit is not None:
+                current = hit
+                changed = True
+
+        # 4. simplest failing scheduler policy
         ladder = sorted(scheduler_names(), key=_policy_rank)
         for policy in ladder:
             if _policy_rank(policy) >= _policy_rank(current.cell.scheduler):
@@ -123,5 +143,16 @@ def shrink(
                 current = hit
                 changed = True
                 break
+
+        # 5. shortest failing replay prefix (fallback untouched)
+        if is_replay_spec(current.cell.scheduler):
+            prefix, fallback = parse_replay_spec(current.cell.scheduler)
+            for k in range(len(prefix)):
+                shorter = replay_spec(prefix[:k], fallback)
+                hit = still_fails(current.cell.with_(scheduler=shorter))
+                if hit is not None:
+                    current = hit
+                    changed = True
+                    break
 
     return ShrinkOutcome(original=cell, result=current, probes=probes)

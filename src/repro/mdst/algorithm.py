@@ -5,7 +5,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..errors import NotConnectedError, ProtocolError, ReproError
+from ..errors import NotConnectedError, ProtocolError, ReproError, StallError
 from ..graphs.graph import Graph
 from ..graphs.traversal import is_connected
 from ..graphs.trees import RootedTree
@@ -209,7 +209,9 @@ def extract_final_tree(net: Network, graph: Graph) -> RootedTree:
     roots = []
     for u, proc in net.processes.items():
         if not proc.terminated:
-            raise ProtocolError(f"node {u} never terminated")
+            # a stall (quiescent but unfinished), not a corrupted tree —
+            # StallError lets fault/churn harnesses flatten it loudly
+            raise StallError(f"node {u} never terminated")
         parents[u] = proc.parent
         if proc.parent is None:
             roots.append(u)

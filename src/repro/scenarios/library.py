@@ -17,6 +17,9 @@ its axes) and from tests (every entry has an end-to-end smoke test).
 * ``lossy_links`` — message-drop fault plans next to the fault-free
   baseline: the reliability assumption made measurable (stall rates);
 * ``crash_storm`` — crash-stop fault plans, same dichotomy;
+* ``churn_storm`` — mid-run churn plans (crash-restart waves, link
+  flaps) vs. the churn-free baseline: lossless in-order churn must
+  still certify, stranding plans must stall loudly, never corrupt;
 * ``adversarial_delay`` — per-link skew and exponential reordering
   pressure vs. the unit-delay analysis assumption;
 * ``schedule_storm`` — adversarial scheduler policies (newest-first,
@@ -99,6 +102,17 @@ def _build() -> dict[str, ScenarioSpec]:
             sizes=(16,),
             seeds=(0, 1, 2),
             faults=("none", "crash_one", "crash_storm"),
+        ),
+        ScenarioSpec(
+            name="churn_storm",
+            description=(
+                "mid-run churn plans (crash-restart waves, link flaps) "
+                "vs. the churn-free baseline"
+            ),
+            families=("gnp_sparse", "ring"),
+            sizes=(16,),
+            seeds=(0, 1, 2),
+            churns=("none", "restart_one", "flap_edge", "churn_storm"),
         ),
         ScenarioSpec(
             name="adversarial_delay",

@@ -38,7 +38,7 @@ __all__ = [
 #: the non-seed cell axes a scenario's records aggregate over
 _GROUP_AXES = (
     "algorithm", "family", "n", "initial_method", "mode", "delay", "fault",
-    "scheduler",
+    "scheduler", "churn",
 )
 
 
@@ -125,6 +125,8 @@ def _group_label(row: dict[str, Any]) -> str:
         parts.append(row["fault"])
     if row["scheduler"] != "none":
         parts.append(row["scheduler"])
+    if row["churn"] != "none":
+        parts.append(f"churn:{row['churn']}")
     return "/".join(parts)
 
 
@@ -148,18 +150,18 @@ def _scenario_markdown(
         f"seeds={list(sc.seeds)} initial={list(sc.initial_methods)} "
         f"modes={list(sc.modes)} delays={list(sc.delays)} "
         f"faults={list(sc.faults)} schedulers={list(sc.schedulers)} "
-        f"algorithms={list(sc.algorithms)}",
+        f"churns={list(sc.churns)} algorithms={list(sc.algorithms)}",
         "",
         "| algorithm | family | n | initial | mode | delay | fault | sched "
-        "| runs | stalled | k0 | k* | LB(Δ*) | rounds | msgs | time |",
-        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|",
+        "| churn | runs | stalled | k0 | k* | LB(Δ*) | rounds | msgs | time |",
+        "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|---|",
     ]
     for row in rows:
         lines.append(
             f"| {row['algorithm']} | {row['family']} | {row['n']} "
             f"| {row['initial_method']} | {row['mode']} "
             f"| {row['delay']} | {row['fault']} | {row['scheduler']} "
-            f"| {row['runs']} "
+            f"| {row['churn']} | {row['runs']} "
             f"| {row['stalled']} | {_fmt(row['k_initial'])} "
             f"| {_fmt(row['k_final'])} | {_fmt(row['degree_lb'])} "
             f"| {_fmt(row['rounds'])} | {_fmt(row['messages'], 0)} "

@@ -24,6 +24,7 @@ from ..algorithms import DEFAULT_ALGORITHM
 from ..analysis.executor import RunSpec
 from ..analysis.harness import SweepSpec
 from ..errors import AnalysisError
+from ..sim.churn import NO_CHURN
 from ..sim.faults import NO_FAULT
 from ..sim.scheduler import NO_SCHEDULER
 
@@ -44,6 +45,7 @@ SCENARIO_FIELDS = (
     "delays",
     "faults",
     "schedulers",
+    "churns",
     "algorithms",
     "max_rounds",
 )
@@ -77,6 +79,7 @@ class ScenarioSpec:
     delays: tuple[str, ...] = ("unit",)
     faults: tuple[str, ...] = (NO_FAULT,)
     schedulers: tuple[str, ...] = (NO_SCHEDULER,)
+    churns: tuple[str, ...] = (NO_CHURN,)
     algorithms: tuple[str, ...] = (DEFAULT_ALGORITHM,)
     max_rounds: int | None = None
 
@@ -86,7 +89,7 @@ class ScenarioSpec:
         # frozen specs stay hashable and order-stable
         for axis in (
             "families", "sizes", "seeds", "initial_methods", "modes",
-            "delays", "faults", "schedulers", "algorithms",
+            "delays", "faults", "schedulers", "churns", "algorithms",
         ):
             value = getattr(self, axis)
             if isinstance(value, str) or not isinstance(value, (list, tuple)):
@@ -109,6 +112,7 @@ class ScenarioSpec:
             algorithms=self.algorithms,
             faults=self.faults,
             schedulers=self.schedulers,
+            churns=self.churns,
             max_rounds=self.max_rounds,
         )
 

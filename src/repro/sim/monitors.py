@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..errors import ProtocolError
+from ..errors import ProtocolError, StallError
 from .network import Network
 
 __all__ = [
@@ -60,7 +60,7 @@ def all_terminated_at_quiescence() -> Monitor:
         if len(net.queue) == 0 and net.in_flight == 0:
             laggards = [u for u, p in net.processes.items() if not p.terminated]
             if laggards:
-                raise ProtocolError(
+                raise StallError(
                     f"quiescent but nodes {laggards[:8]} never terminated"
                 )
 

@@ -44,11 +44,16 @@ __all__ = [
     "LifoScheduler",
     "RandomScheduler",
     "StarveNodeScheduler",
+    "ReplayScheduler",
     "PolicyQueue",
     "NO_SCHEDULER",
+    "REPLAY_PREFIX_MAX",
     "scheduler_names",
     "scheduler_from_name",
     "register_scheduler",
+    "replay_spec",
+    "parse_replay_spec",
+    "is_replay_spec",
 ]
 
 #: A deliverable head as shown to a policy: ``(seq, target, sender)``.
@@ -135,6 +140,60 @@ class StarveNodeScheduler(SchedulerPolicy):
             if target != self.victim:
                 return i
         return 0  # only the victim's events remain: oldest first
+
+
+class ReplayScheduler(SchedulerPolicy):
+    """Replay a recorded choice-prefix, then fall back to a seeded policy.
+
+    The fuzzer's workhorse: a schedule is represented as a finite prefix
+    of raw choices (one int per simulator step) plus a named fallback
+    policy for the suffix. ``choose`` maps the raw choice into range
+    with a modulo, so *every* int prefix denotes an admissible schedule
+    — mutation engines can truncate / splice / perturb freely without a
+    validity check, and :class:`PolicyQueue` still structurally enforces
+    per-link FIFO.
+
+    Deterministic in ``(prefix, fallback, n, seed)``: ``bind`` resets
+    the step cursor and re-binds the fallback, so one instance replays
+    identically across runs.
+    """
+
+    def __init__(
+        self, prefix: Sequence[int] = (), fallback: str = "random"
+    ) -> None:
+        if fallback == NO_SCHEDULER or fallback not in _SCHEDULER_FACTORIES:
+            raise ValueError(
+                f"unknown replay fallback {fallback!r}; choose from "
+                f"{sorted(_SCHEDULER_FACTORIES)}"
+            )
+        if _is_replay_name(fallback):
+            raise ValueError("replay fallback cannot itself be a replay policy")
+        self.prefix = tuple(int(c) for c in prefix)
+        if any(c < 0 for c in self.prefix):
+            raise ValueError("replay prefix choices must be non-negative")
+        if len(self.prefix) > REPLAY_PREFIX_MAX:
+            raise ValueError(
+                f"replay prefix longer than {REPLAY_PREFIX_MAX} choices"
+            )
+        self.fallback = fallback
+        self._tail: SchedulerPolicy = _SCHEDULER_FACTORIES[fallback]()
+        self._step = 0
+
+    def bind(self, seed: int, n: int) -> None:
+        self._step = 0
+        self._tail.bind(seed, n)
+
+    def choose(self, heads: Sequence[Head]) -> int:
+        step = self._step
+        self._step = step + 1
+        prefix = self.prefix
+        if step < len(prefix):
+            return prefix[step] % len(heads)
+        return self._tail.choose(heads)
+
+    @property
+    def name(self) -> str:
+        return replay_spec(self.prefix, self.fallback)
 
 
 #: Flat-indexed link storage is bounded: n*n slots must stay small enough
@@ -302,10 +361,77 @@ _SCHEDULER_FACTORIES: dict[str, type[SchedulerPolicy]] = {
     "lifo": LifoScheduler,
     "random": RandomScheduler,
     "starve": StarveNodeScheduler,
+    "replay": ReplayScheduler,  # zero-arg: empty prefix, random fallback
 }
 
 #: The distinguished "no policy" name: normal time-based scheduling.
 NO_SCHEDULER = "none"
+
+#: Upper bound on a replay prefix: keeps spec strings (which travel
+#: through RunSpec fields, cache keys and corpus artifacts) bounded.
+REPLAY_PREFIX_MAX = 4096
+
+#: A raw replay choice lives in [0, REPLAY_CHOICE_SPACE); ``choose``
+#: reduces it modulo the head count, so the bound only shapes mutation
+#: entropy, never admissibility.
+REPLAY_CHOICE_SPACE = 64
+
+
+def _is_replay_name(name: str) -> bool:
+    return name == "replay" or name.startswith("replay:")
+
+
+def is_replay_spec(name: str) -> bool:
+    """True for the bare ``replay`` policy name or a ``replay:...`` spec."""
+    return _is_replay_name(name)
+
+
+def replay_spec(prefix: Sequence[int], fallback: str = "random") -> str:
+    """Canonical spec string for a replay schedule.
+
+    ``replay`` (empty prefix, random fallback), ``replay:<fallback>``
+    (empty prefix) or ``replay:<fallback>:<c1.c2...>``. The encoding is
+    bijective with ``(prefix, fallback)`` — :func:`parse_replay_spec`
+    rejects every non-canonical spelling — so the spec string can serve
+    as the schedule's identity in cache keys and corpus artifacts.
+    """
+    prefix = tuple(int(c) for c in prefix)
+    if not prefix and fallback == "random":
+        return "replay"
+    if not prefix:
+        return f"replay:{fallback}"
+    return f"replay:{fallback}:" + ".".join(str(c) for c in prefix)
+
+
+def parse_replay_spec(name: str) -> tuple[tuple[int, ...], str]:
+    """Inverse of :func:`replay_spec`; raises ValueError on any
+    non-canonical spelling (leading zeros, signs, spaces, empty chunks),
+    so distinct spec strings always denote distinct schedules."""
+    if name == "replay":
+        return (), "random"
+    parts = name.split(":")
+    if not 2 <= len(parts) <= 3 or parts[0] != "replay":
+        raise ValueError(f"not a replay scheduler spec: {name!r}")
+    fallback = parts[1]
+    if fallback == NO_SCHEDULER or _is_replay_name(fallback):
+        raise ValueError(f"bad replay fallback {fallback!r} in {name!r}")
+    if len(parts) == 2:
+        if fallback == "random":
+            raise ValueError(
+                f"non-canonical replay spec {name!r}; use 'replay'"
+            )
+        return (), fallback
+    chunk = parts[2]
+    if not chunk:
+        raise ValueError(
+            f"non-canonical replay spec {name!r}; empty prefix omits the tail"
+        )
+    choices = []
+    for tok in chunk.split("."):
+        if not tok.isdigit() or (tok != "0" and tok[0] == "0"):
+            raise ValueError(f"bad replay choice {tok!r} in {name!r}")
+        choices.append(int(tok))
+    return tuple(choices), fallback
 
 
 def scheduler_names() -> tuple[str, ...]:
@@ -315,9 +441,21 @@ def scheduler_names() -> tuple[str, ...]:
 
 
 def scheduler_from_name(name: str) -> SchedulerPolicy | None:
-    """Factory used by the CLI / sweep specs (``"none"`` → ``None``)."""
+    """Factory used by the CLI / sweep specs (``"none"`` → ``None``).
+
+    Accepts every registered policy name plus canonical
+    ``replay:<fallback>[:<prefix>]`` spec strings (see
+    :func:`replay_spec`); non-canonical replay spellings are rejected so
+    two distinct spec strings can never alias one schedule (the result
+    cache hashes the spec string verbatim).
+    """
     if name == NO_SCHEDULER:
         return None
+    if _is_replay_name(name) and name != "replay":
+        prefix, fallback = parse_replay_spec(name)
+        if replay_spec(prefix, fallback) != name:
+            raise ValueError(f"non-canonical replay spec {name!r}")
+        return ReplayScheduler(prefix, fallback)
     try:
         factory = _SCHEDULER_FACTORIES[name]
     except KeyError:

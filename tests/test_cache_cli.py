@@ -4,7 +4,7 @@
 import pytest
 
 from repro.analysis import ResultCache, RunSpec, cache_key, run_single
-from repro.analysis.cache import _encode_payload
+from repro.analysis.cache import CACHE_SCHEMA_VERSION, _encode_payload
 from repro.cli import main
 
 
@@ -33,7 +33,8 @@ class TestCacheStats:
         packed_bytes = ResultCache(populated).stats()["bytes"]
         assert out == (
             f"cache {populated}: 2 packed entr(ies) in 1 segment(s) "
-            f"({packed_bytes} bytes), 1 legacy file(s), schema v5\n"
+            f"({packed_bytes} bytes), 1 legacy file(s), "
+            f"schema v{CACHE_SCHEMA_VERSION}\n"
         )
 
     def test_empty_directory(self, capsys, tmp_path):
@@ -123,7 +124,7 @@ class TestCacheStatsJson:
         data = json.loads(out)
         assert data["entries"] == 2
         assert data["legacy_files"] == 1
-        assert data["schema"] == 5
+        assert data["schema"] == CACHE_SCHEMA_VERSION
 
     def test_json_requires_stats(self, capsys, populated):
         assert main(["cache", str(populated), "--verify", "--json"]) == 2

@@ -15,6 +15,7 @@ CAMPAIGN_LIST_GOLDEN = """\
 built-in scenarios:
 
   adversarial_delay    18 cells  per-link skew and exponential delays vs. the unit-delay model
+  churn_storm          24 cells  mid-run churn plans (crash-restart waves, link flaps) vs. the churn-free baseline
   crash_storm          18 cells  crash-stop fault plans vs. the fault-free baseline
   dense_clique         12 cells  dense regime: complete + dense G(n,p) (KMZ lower-bound setting)
   head_to_head         24 cells  every registered algorithm head-to-head on identical instances
@@ -105,12 +106,12 @@ class TestFamiliesListing:
         out = capsys.readouterr().out
         for section in (
             "graph families:", "delay models:", "algorithms:",
-            "fault plans:", "scenarios:", "bench suites:",
+            "fault plans:", "churn plans:", "scenarios:", "bench suites:",
         ):
             assert section in out
         for name in (
-            "complete", "unit", "blin_butelle", "crash_storm", "paper_baseline",
-            "smoke",
+            "complete", "unit", "blin_butelle", "crash_storm", "restart_one",
+            "paper_baseline", "smoke",
         ):
             assert f"  {name}\n" in out
 

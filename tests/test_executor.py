@@ -334,6 +334,15 @@ class TestCacheSchemaVersioning:
 
         assert CACHE_SCHEMA_VERSION >= 5
 
+    def test_schema_version_is_bumped_for_the_churn_axis(self):
+        """v6: RunSpec/RunRecord gained the ``churn`` axis and scheduler
+        spec strings started carrying replay prefixes (fuzzing PR) — a
+        v5 entry has no churn field and would alias the churn-free
+        cell."""
+        from repro.analysis.cache import CACHE_SCHEMA_VERSION
+
+        assert CACHE_SCHEMA_VERSION >= 6
+
     def test_records_carry_the_events_work_metric(self):
         record = run_single("ring", 8, seed=0)
         assert record.events > 0
@@ -348,6 +357,35 @@ class TestCacheSchemaVersioning:
         a = RunSpec(family="ring", n=8, seed=0, scheduler="none")
         b = RunSpec(family="ring", n=8, seed=0, scheduler="lifo")
         assert cache_key(a) != cache_key(b)
+
+    def test_churn_distinguishes_cache_keys(self):
+        a = RunSpec(family="ring", n=8, seed=0, churn="none")
+        b = RunSpec(family="ring", n=8, seed=0, churn="restart_one")
+        assert cache_key(a) != cache_key(b)
+
+    def test_replay_prefix_distinguishes_cache_keys(self):
+        """The latent aliasing gap the fuzzing PR closes: two runs of
+        the same instance under different replay prefixes are different
+        schedules, so their records must never share a cache entry. The
+        prefix rides in the scheduler spec string, which the key hashes
+        verbatim — sound only because ``scheduler_from_name`` rejects
+        non-canonical spellings (one schedule = one spec string)."""
+        base = RunSpec(family="ring", n=8, seed=0, scheduler="replay:lifo")
+        pref = RunSpec(family="ring", n=8, seed=0, scheduler="replay:lifo:3.1")
+        other = RunSpec(family="ring", n=8, seed=0, scheduler="replay:lifo:3.2")
+        keys = {cache_key(base), cache_key(pref), cache_key(other)}
+        assert len(keys) == 3
+
+    def test_non_canonical_replay_specs_cannot_reach_the_cache(self):
+        """A second spelling of the same prefix would alias one schedule
+        to two cache keys; the parser is the choke point that prevents
+        it."""
+        from repro.sim.scheduler import scheduler_from_name
+
+        with pytest.raises(ValueError, match="bad replay choice"):
+            scheduler_from_name("replay:lifo:03.1")  # leading zero
+        with pytest.raises(ValueError, match="non-canonical"):
+            scheduler_from_name("replay:random")  # spelled 'replay'
 
     def test_salt_distinguishes_cache_keys_and_stores(self, tmp_path):
         """A salted cache (the exploration probe's) must never serve or
@@ -386,3 +424,9 @@ class TestCacheSchemaVersioning:
         data = rec.to_json_dict()
         del data["scheduler"]  # record saved before the scheduler axis
         assert RunRecord.from_json_dict(data).scheduler == "none"
+
+    def test_legacy_record_without_churn_loads_with_default(self):
+        rec = run_single("gnp_sparse", 10, seed=0)
+        data = rec.to_json_dict()
+        del data["churn"]  # record saved before the churn axis
+        assert RunRecord.from_json_dict(data).churn == "none"

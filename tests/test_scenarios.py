@@ -44,6 +44,7 @@ class TestScenarioSpec:
             ({"families": ("typo",)}, "family"),
             ({"delays": ("typo",)}, "delay"),
             ({"faults": ("typo",)}, "fault"),
+            ({"churns": ("typo",)}, "churn plan"),
             ({"algorithms": ("typo",)}, "algorithm"),
             ({"initial_methods": ("typo",)}, "initial method"),
             ({"sizes": ()}, "non-empty"),
@@ -118,6 +119,12 @@ class TestLibrary:
         from repro.algorithms import algorithm_names
 
         assert get_scenario("head_to_head").algorithms == algorithm_names()
+
+    def test_churn_storm_sweeps_the_churn_axis_with_a_baseline(self):
+        sc = get_scenario("churn_storm")
+        assert "none" in sc.churns  # control group, like fault scenarios
+        assert {"restart_one", "churn_storm"} <= set(sc.churns)
+        assert sc.num_cells == len(sc.cells())
 
 
 class TestLoader:
@@ -200,8 +207,9 @@ class TestRunnerAndReport:
         assert len(scenario_result.records) == sc.num_cells
         for cell, record in zip(scenario_result.cells, scenario_result.records):
             assert record.fault == cell.fault
+            assert record.churn == cell.churn
             assert record.outcome in ("ok", "stalled")
-            if cell.fault == "none":
+            if cell.fault == "none" and cell.churn == "none":
                 assert record.ok  # the reliable model must never stall
         md = render_markdown(result)
         assert f"## Scenario `{name}`" in md

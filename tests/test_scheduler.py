@@ -15,11 +15,18 @@ from repro.sim import (
     Network,
     PolicyQueue,
     RandomScheduler,
+    ReplayScheduler,
     SchedulerPolicy,
     StarveNodeScheduler,
     register_scheduler,
     scheduler_from_name,
     scheduler_names,
+)
+from repro.sim.scheduler import (
+    REPLAY_PREFIX_MAX,
+    is_replay_spec,
+    parse_replay_spec,
+    replay_spec,
 )
 from repro.sim.messages import Message
 from repro.sim.node import Process
@@ -105,6 +112,96 @@ class TestPolicies:
                 b.bind(seed, n)
                 assert a.victim == b.victim
                 assert 0 <= a.victim < n
+
+
+class TestReplayScheduler:
+    HEADS = ((3, 1, 0), (7, 2, 1), (9, 0, -1))
+
+    def test_prefix_choices_are_respected(self):
+        pol = ReplayScheduler((0, 2, 1), "fifo")
+        pol.bind(0, 4)
+        assert [pol.choose(self.HEADS) for _ in range(3)] == [0, 2, 1]
+
+    def test_out_of_range_choices_reduce_modulo_head_count(self):
+        # every int denotes an admissible pick — mutation engines never
+        # have to validate against the live head count
+        pol = ReplayScheduler((3, 7, 100), "fifo")
+        pol.bind(0, 4)
+        assert [pol.choose(self.HEADS) for _ in range(3)] == [0, 1, 1]
+
+    def test_fallback_takes_over_after_the_prefix(self):
+        pol = ReplayScheduler((1,), "lifo")
+        pol.bind(0, 4)
+        assert pol.choose(self.HEADS) == 1  # recorded head
+        assert pol.choose(self.HEADS) == 2  # lifo tail: newest
+
+    def test_bind_resets_the_cursor(self):
+        pol = ReplayScheduler((2, 0), "fifo")
+        pol.bind(5, 4)
+        first = [pol.choose(self.HEADS) for _ in range(4)]
+        pol.bind(5, 4)
+        assert [pol.choose(self.HEADS) for _ in range(4)] == first
+
+    def test_deterministic_in_prefix_fallback_seed_n(self):
+        a = ReplayScheduler((4, 4), "random")
+        b = ReplayScheduler((4, 4), "random")
+        a.bind(9, 6)
+        b.bind(9, 6)
+        picks_a = [a.choose(self.HEADS) for _ in range(30)]
+        picks_b = [b.choose(self.HEADS) for _ in range(30)]
+        assert picks_a == picks_b
+
+    def test_constructor_rejects_bad_prefixes_and_fallbacks(self):
+        with pytest.raises(ValueError, match="unknown replay fallback"):
+            ReplayScheduler((), "typo")
+        with pytest.raises(ValueError, match="unknown replay fallback"):
+            ReplayScheduler((), NO_SCHEDULER)
+        with pytest.raises(ValueError, match="non-negative"):
+            ReplayScheduler((3, -1), "fifo")
+        with pytest.raises(ValueError, match="longer than"):
+            ReplayScheduler((0,) * (REPLAY_PREFIX_MAX + 1), "fifo")
+
+    def test_spec_round_trips(self):
+        for prefix, fallback in (
+            ((), "random"),
+            ((), "lifo"),
+            ((3, 1, 0), "fifo"),
+            ((0, 64, 7), "starve"),
+        ):
+            spec = replay_spec(prefix, fallback)
+            assert is_replay_spec(spec)
+            assert parse_replay_spec(spec) == (prefix, fallback)
+            pol = scheduler_from_name(spec)
+            assert isinstance(pol, ReplayScheduler)
+            assert pol.prefix == prefix
+            assert pol.fallback == fallback
+            assert pol.name == spec
+
+    def test_parser_rejects_non_canonical_spellings(self):
+        # the spec string is the schedule's identity in cache keys and
+        # corpus artifacts, so every spelling must be unique
+        with pytest.raises(ValueError, match="bad replay choice"):
+            parse_replay_spec("replay:lifo:03.1")
+        with pytest.raises(ValueError, match="bad replay choice"):
+            parse_replay_spec("replay:lifo:3..1")
+        with pytest.raises(ValueError, match="bad replay choice"):
+            parse_replay_spec("replay:lifo:-3")
+        with pytest.raises(ValueError, match="non-canonical"):
+            parse_replay_spec("replay:random")
+        with pytest.raises(ValueError, match="empty prefix omits the tail"):
+            parse_replay_spec("replay:lifo:")
+        with pytest.raises(ValueError, match="bad replay fallback"):
+            parse_replay_spec("replay:none:3")
+        with pytest.raises(ValueError, match="bad replay fallback"):
+            parse_replay_spec("replay:replay:3")
+        with pytest.raises(ValueError, match="not a replay scheduler spec"):
+            parse_replay_spec("fifo")
+
+    def test_registry_exposes_the_bare_policy(self):
+        assert "replay" in scheduler_names()
+        pol = scheduler_from_name("replay")
+        assert isinstance(pol, ReplayScheduler)
+        assert pol.prefix == () and pol.fallback == "random"
 
 
 class TestPolicyQueue:
