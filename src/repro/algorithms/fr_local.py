@@ -80,6 +80,7 @@ from ..sim.messages import Message
 from ..sim.monitors import parent_pointers_form_forest
 from ..sim.network import Network
 from ..sim.node import NodeContext, Process
+from ..sim.provenance import CausalCapture
 from ..sim.scheduler import SchedulerPolicy
 from ..sim.trace import TraceRecorder
 from ..spanning.provider import build_spanning_tree
@@ -573,6 +574,7 @@ def run_fr_local(
     max_events: int = 5_000_000,
     faults: FaultPlan | None = None,
     scheduler: SchedulerPolicy | None = None,
+    causal: CausalCapture | None = None,
 ) -> MDSTResult:
     """Run the FR-style local-improvement protocol to termination.
 
@@ -594,6 +596,7 @@ def run_fr_local(
         check_invariants=check_invariants,
         faults=faults,
         scheduler=scheduler,
+        causal=causal,
     )
     report = net.run(max_events=max_events) if net is not None else None
     return finalize(report)
@@ -612,6 +615,7 @@ def build_fr_local(
     check_invariants: bool = False,
     faults: FaultPlan | None = None,
     scheduler: SchedulerPolicy | None = None,
+    causal: CausalCapture | None = None,
 ):
     """Build half of :func:`run_fr_local` (same ``(net, finalize)``
     contract as :func:`repro.mdst.algorithm.build_mdst`)."""
@@ -647,6 +651,7 @@ def build_fr_local(
         trace=trace,
         monitors=monitors,
         scheduler=scheduler,
+        causal=causal,
     )
     tree = initial_tree
     return net, lambda report: finalize_protocol_run(net, graph, tree, report)

@@ -11,8 +11,8 @@ Runner contract
 ---------------
 ``run(graph, initial_tree=None, *, initial_method="echo",
 mode="concurrent", max_rounds=None, seed=0, delay=None, trace=None,
-check_invariants=False, max_events=..., faults=None, scheduler=None)
--> MDSTResult``
+check_invariants=False, max_events=..., faults=None, scheduler=None,
+causal=None) -> MDSTResult``
 
 Algorithms are free to ignore knobs that do not apply to them (e.g. the
 FR-style protocol has no concurrent mode), but must accept them so a
@@ -24,7 +24,10 @@ corrupt tree. ``scheduler`` is an optional
 :class:`~repro.sim.scheduler.SchedulerPolicy` that takes over delivery
 ordering (named policies expand via
 :func:`repro.sim.scheduler.scheduler_from_name`); the same
-certified-or-raise contract must hold under any policy.
+certified-or-raise contract must hold under any policy. ``causal`` is an
+optional :class:`~repro.sim.provenance.CausalCapture` the runner must
+attach to its protocol network (not the startup construction), so run
+forensics cover every registered algorithm uniformly.
 
 ``degree_bound(opt, n)`` states the certified worst-case final degree on
 a graph with optimum ``opt`` and ``n`` nodes; the property suite checks
@@ -119,6 +122,7 @@ def _register_builtin_blin() -> None:
         max_events: int = 5_000_000,
         faults=None,
         scheduler=None,
+        causal=None,
     ):
         return run_mdst(
             graph,
@@ -132,6 +136,7 @@ def _register_builtin_blin() -> None:
             max_events=max_events,
             faults=faults,
             scheduler=scheduler,
+            causal=causal,
         )
 
     def _build_blin(
@@ -147,6 +152,7 @@ def _register_builtin_blin() -> None:
         check_invariants: bool = False,
         faults=None,
         scheduler=None,
+        causal=None,
     ):
         from ..mdst.algorithm import build_mdst
 
@@ -161,6 +167,7 @@ def _register_builtin_blin() -> None:
             check_invariants=check_invariants,
             faults=faults,
             scheduler=scheduler,
+            causal=causal,
         )
 
     register_algorithm(

@@ -38,6 +38,7 @@ from ..obs import Telemetry
 from ..obs import current as obs
 from ..sim.batch import run_lockstep
 from ..sim.churn import NO_CHURN, churn_plan_from_name, merge_plans
+from ..sim.provenance import CausalCapture
 from ..sim.delays import delay_model_from_name
 from ..sim.faults import NO_FAULT, fault_plan_from_name
 from ..sim.scheduler import scheduler_from_name
@@ -66,13 +67,21 @@ class CellTemplate:
     Delay models and scheduler policies carry per-run RNG state, so
     every run gets fresh instances; what the template hoists is the
     name resolution and the shared record-building epilogue.
+
+    With ``causal=True`` every run is driven with a fresh
+    :class:`~repro.sim.provenance.CausalCapture` and its summary travels
+    on the record's ``causal`` field (the exploration probes' mode —
+    feeds the fuzzer's causal coverage signals). A capture is a pure
+    function of the run, so captured records stay byte-identical
+    between the per-cell and batched drive paths.
     """
 
-    __slots__ = ("spec", "algorithm")
+    __slots__ = ("spec", "algorithm", "causal")
 
-    def __init__(self, spec: RunSpec) -> None:
+    def __init__(self, spec: RunSpec, *, causal: bool = False) -> None:
         self.spec = spec
         self.algorithm = get_algorithm(spec.algorithm)
+        self.causal = bool(causal)
         delay_model_from_name(spec.delay)
         scheduler_from_name(spec.scheduler)
         churn_plan_from_name(spec.churn, 1, 0)  # eager name validation
@@ -120,9 +129,18 @@ class CellTemplate:
 
     # -- drive ----------------------------------------------------------
 
-    def run(self, seed: int) -> RunRecord:
-        """One complete per-cell run (the reference semantics)."""
+    def run(self, seed: int, sink: CausalCapture | None = None) -> RunRecord:
+        """One complete per-cell run (the reference semantics).
+
+        *sink* is an explicit capture to drive the run with (the CLI's
+        ``--causal-out`` path, which wants the full DAG back); without
+        one, a template constructed with ``causal=True`` captures into a
+        private instance and keeps only the summary.
+        """
         s = self.spec
+        cap = sink if sink is not None else (
+            CausalCapture() if self.causal else None
+        )
         graph, startup, startup_messages, plan = self.setup(seed)
         try:
             result = self.algorithm.run(
@@ -134,16 +152,21 @@ class CellTemplate:
                 delay=delay_model_from_name(s.delay),
                 faults=plan or None,
                 scheduler=scheduler_from_name(s.scheduler),
+                causal=cap,
             )
         except (TerminationError, ProtocolError) as exc:
             if not self.flattens(exc):
                 raise
-            return self.stalled_record(seed, graph, startup, startup_messages)
-        return self.ok_record(seed, graph, startup_messages, result)
+            return self.stalled_record(
+                seed, graph, startup, startup_messages, cap
+            )
+        return self.ok_record(seed, graph, startup_messages, result, cap)
 
     # -- record building (the single source of record truth) -----------
 
-    def ok_record(self, seed, graph, startup_messages, result) -> RunRecord:
+    def ok_record(
+        self, seed, graph, startup_messages, result, cap=None
+    ) -> RunRecord:
         s = self.spec
         return RunRecord(
             family=s.family,
@@ -167,9 +190,12 @@ class CellTemplate:
             fault=s.fault,
             scheduler=s.scheduler,
             churn=s.churn,
+            causal=cap.summary() if cap is not None else {},
         )
 
-    def stalled_record(self, seed, graph, startup, startup_messages) -> RunRecord:
+    def stalled_record(
+        self, seed, graph, startup, startup_messages, cap=None
+    ) -> RunRecord:
         s = self.spec
         return RunRecord(
             family=s.family,
@@ -193,6 +219,10 @@ class CellTemplate:
             scheduler=s.scheduler,
             churn=s.churn,
             outcome="stalled",
+            # the partial capture is still a pure function of the
+            # (deterministic) stalled schedule — stalled records keep
+            # their attribution so forensics cover failures too
+            causal=cap.summary() if cap is not None else {},
         )
 
 
@@ -214,7 +244,9 @@ def group_cells(cells: Sequence[RunSpec]) -> list[list[int]]:
     return list(groups.values())
 
 
-def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
+def run_cells(
+    cells: Sequence[RunSpec], *, causal: bool = False
+) -> list[RunRecord]:
     """Run one seed-varying group, batched.
 
     All replicas are built up front (template resolution shared), then
@@ -222,12 +254,14 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
     build half fall back to sequential per-cell runs through the same
     template. Error semantics match the per-cell path: with a fault
     injected, a stalling replica flattens into a ``stalled`` record;
-    without one, the failure propagates.
+    without one, the failure propagates. With ``causal=True`` every
+    replica gets its own capture (lockstep interleaving swaps the stamp
+    target per chunk, so attribution never crosses replicas).
     """
     cells = list(cells)
     if not cells:
         return []
-    template = CellTemplate(cells[0])
+    template = CellTemplate(cells[0], causal=causal)
     key = group_key(cells[0])
     for c in cells[1:]:
         if group_key(c) != key:
@@ -246,6 +280,7 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
     records: list[RunRecord | None] = [None] * len(cells)
     nets, finals, meta, order = [], [], [], []
     for i, c in enumerate(cells):
+        cap = CausalCapture() if causal else None
         graph, startup, startup_messages, plan = template.setup(c.seed)
         net, finalize = build(
             graph,
@@ -256,16 +291,17 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
             delay=delay_model_from_name(s.delay),
             faults=plan or None,
             scheduler=scheduler_from_name(s.scheduler),
+            causal=cap,
         )
         if net is None:  # trivial instance: nothing to simulate
             records[i] = template.ok_record(
-                c.seed, graph, startup_messages, finalize(None)
+                c.seed, graph, startup_messages, finalize(None), cap
             )
         else:
             order.append(i)
             nets.append(net)
             finals.append(finalize)
-            meta.append((graph, startup, startup_messages))
+            meta.append((graph, startup, startup_messages, cap))
 
     errors: dict[int, Exception] = {}
     if s.fault == NO_FAULT and s.churn == NO_CHURN:
@@ -277,14 +313,14 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
 
     for j, i in enumerate(order):
         seed = cells[i].seed
-        graph, startup, startup_messages = meta[j]
+        graph, startup, startup_messages, cap = meta[j]
         if j in errors:
             if not template.flattens(errors[j]):
                 # corruption under churn: a real bug aborts the group,
                 # exactly as it aborts a serial sweep
                 raise errors[j]
             records[i] = template.stalled_record(
-                seed, graph, startup, startup_messages
+                seed, graph, startup, startup_messages, cap
             )
             continue
         try:
@@ -293,10 +329,12 @@ def run_cells(cells: Sequence[RunSpec]) -> list[RunRecord]:
             if not template.flattens(exc):
                 raise
             records[i] = template.stalled_record(
-                seed, graph, startup, startup_messages
+                seed, graph, startup, startup_messages, cap
             )
             continue
-        records[i] = template.ok_record(seed, graph, startup_messages, result)
+        records[i] = template.ok_record(
+            seed, graph, startup_messages, result, cap
+        )
     return records  # type: ignore[return-value]
 
 

@@ -78,7 +78,10 @@ __all__ = [
 #: churned run would alias the churn-free cell. Replay-scheduler
 #: choice-prefixes also enter the key in this version (as canonical
 #: ``replay:...`` spec strings in the ``scheduler`` field).
-CACHE_SCHEMA_VERSION = 6
+#: v7: records gained the ``causal`` provenance digest (run-forensics
+#: PR) — a v6 entry would deserialize with an empty digest and starve
+#: the fuzzer's causal coverage signals on warm-cache campaigns.
+CACHE_SCHEMA_VERSION = 7
 
 #: Default LRU budget of the in-memory tier (entries, not bytes — records
 #: are small, flat dataclasses). 0 disables the tier.

@@ -23,6 +23,7 @@ from ..mdst.config import MODES
 from ..sim.churn import NO_CHURN, churn_names
 from ..sim.delays import DELAY_NAMES
 from ..sim.faults import NO_FAULT, fault_names
+from ..sim.provenance import CausalCapture
 from ..sim.scheduler import NO_SCHEDULER, scheduler_from_name, scheduler_names
 from ..spanning.provider import CENTRALIZED_METHODS, DISTRIBUTED_METHODS
 from .cache import ResultCache
@@ -147,8 +148,16 @@ def run_single(
     fault: str = NO_FAULT,
     scheduler: str = NO_SCHEDULER,
     churn: str = NO_CHURN,
+    causal: CausalCapture | None = None,
 ) -> RunRecord:
     """Run one configuration and flatten it into a record.
+
+    Passing a :class:`~repro.sim.provenance.CausalCapture` as *causal*
+    records per-delivery provenance into it (and its
+    :meth:`~repro.sim.provenance.CausalCapture.summary` into the
+    record's ``causal`` field) — the substrate behind ``--causal-out``
+    and ``repro inspect``. ``None`` (the default) leaves every fast
+    drive path byte-for-byte untouched.
 
     With a named *fault* plan injected, a run that stalls loudly (the
     certified outcome under the paper's reliability assumption — see
@@ -190,7 +199,7 @@ def run_single(
             churn=churn,
         )
     )
-    return template.run(seed)
+    return template.run(seed, causal)
 
 
 def run_sweep(

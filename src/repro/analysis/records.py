@@ -62,6 +62,13 @@ class RunRecord:
     #: fields are then zeroed and ``k_final`` repeats ``k_initial`` —
     #: no improvement was certified)
     outcome: str = "ok"
+    #: causal provenance digest (critical-path length, per-primitive
+    #: message/bit attribution — see
+    #: :meth:`repro.sim.provenance.CausalCapture.summary`). Populated by
+    #: capture-enabled drivers (exploration probes, ``--causal-out``);
+    #: empty for uncaptured runs and records saved before the layer
+    #: existed. Like every field, a pure function of ``(spec, seed)``.
+    causal: dict[str, Any] = field(default_factory=dict)
     extra: dict[str, Any] = field(default_factory=dict)
 
     @property

@@ -10,6 +10,9 @@ Subcommands
 ``fuzz``      coverage-guided schedule fuzzing with mid-run churn
 ``bench``     run a benchmark suite; record, compare and gate baselines
 ``cache``     inspect / verify / prune / migrate a packed result cache
+``obs``       summarize a telemetry trace, or diff two (``--diff A B``)
+``inspect``   causal forensics over a ``--causal-out`` artifact:
+              critical path, per-primitive attribution, timeline export
 ``exact``     ground-truth Δ* for a small instance
 ``families``  list workload families, delays, algorithms, faults,
               scheduler policies, scenarios, bench suites
@@ -28,7 +31,15 @@ from .analysis.tables import Table
 from .errors import AnalysisError, ProtocolError, StallError, TerminationError
 from .graphs.generators import FAMILIES, make_family
 from .mdst.config import MODES
-from .obs import capture, read_trace, summarize, trace_lines, write_trace
+from .obs import (
+    capture,
+    diff_traces,
+    read_trace,
+    summarize,
+    trace_lines,
+    write_causal,
+    write_trace,
+)
 from .sequential.exact import optimal_degree
 from .sim.churn import (
     NO_CHURN,
@@ -38,6 +49,7 @@ from .sim.churn import (
 )
 from .sim.delays import DELAY_NAMES, delay_model_from_name
 from .sim.faults import NO_FAULT, fault_names, fault_plan_from_name
+from .sim.provenance import CausalCapture
 from .sim.scheduler import NO_SCHEDULER, scheduler_from_name, scheduler_names
 from .spanning.provider import (
     CENTRALIZED_METHODS,
@@ -422,7 +434,67 @@ def build_parser() -> argparse.ArgumentParser:
             "(span table, counters, cache hit rate)"
         ),
     )
-    obs_p.add_argument("trace", metavar="PATH", help="trace file to summarize")
+    obs_p.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        metavar="PATH",
+        help="trace file to summarize",
+    )
+    obs_p.add_argument(
+        "--diff",
+        nargs=2,
+        default=None,
+        metavar=("A", "B"),
+        help=(
+            "compare two traces instead: print span/counter deltas and "
+            "exit 1 when the deterministic work section diverges "
+            "(the determinism contract's CI check)"
+        ),
+    )
+
+    ins_p = sub.add_parser(
+        "inspect",
+        help=(
+            "causal forensics over an artifact written by --causal-out: "
+            "critical path, per-primitive attribution, timeline export"
+        ),
+    )
+    ins_p.add_argument(
+        "artifact",
+        metavar="PATH",
+        help="causal JSONL artifact (written by run/certify --causal-out)",
+    )
+    ins_p.add_argument(
+        "--critical-path",
+        action="store_true",
+        help=(
+            "print the exact critical path — the dependency chain that "
+            "realizes the run's causal time"
+        ),
+    )
+    ins_p.add_argument(
+        "--attribution",
+        action="store_true",
+        help=(
+            "print per-primitive and per-phase message/bit attribution "
+            "tables"
+        ),
+    )
+    ins_p.add_argument(
+        "--timeline",
+        default=None,
+        metavar="OUT",
+        help=(
+            "export a Chrome-trace / Perfetto JSON timeline to OUT "
+            "(open in chrome://tracing or ui.perfetto.dev)"
+        ),
+    )
+    ins_p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the requested views as one machine-readable JSON object",
+    )
 
     exp = sub.add_parser(
         "explore",
@@ -712,9 +784,18 @@ def _common_axes(p: argparse.ArgumentParser) -> None:
             f"({', '.join(churn_names())})"
         ),
     )
+    p.add_argument(
+        "--causal-out",
+        default=None,
+        metavar="PATH",
+        help=(
+            "capture per-delivery causal provenance and write the "
+            "artifact to PATH (analyze it with `repro inspect PATH`)"
+        ),
+    )
 
 
-def _run_once(args: argparse.Namespace):
+def _run_once(args: argparse.Namespace, causal=None):
     graph = make_family(args.family, args.n, seed=args.seed)
     startup = build_spanning_tree(graph, method=args.initial, seed=args.seed)
     plan = merge_plans(
@@ -729,6 +810,7 @@ def _run_once(args: argparse.Namespace):
         delay=delay_model_from_name(args.delay),
         faults=plan or None,
         scheduler=scheduler_from_name(args.scheduler),
+        causal=causal,
     )
     return result
 
@@ -780,15 +862,37 @@ def main(argv: list[str] | None = None) -> int:
     return rc
 
 
+def _write_causal_artifact(args: argparse.Namespace, cap) -> None:
+    """Write the run's causal artifact (also on a loud stall — a failing
+    run's forensics are the ones worth reading)."""
+    if cap is None:
+        return
+    path = write_causal(args.causal_out, cap, command=args.command)
+    print(f"causal: {path}", file=sys.stderr)
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "obs":
         try:
+            if args.diff is not None:
+                lines, diverged = diff_traces(
+                    read_trace(args.diff[0]), read_trace(args.diff[1])
+                )
+                for line in lines:
+                    print(line)
+                return 1 if diverged else 0
+            if args.trace is None:
+                print("obs: give a trace PATH or --diff A B", file=sys.stderr)
+                return 2
             docs = read_trace(args.trace)
         except AnalysisError as exc:
             print(f"obs: {exc}", file=sys.stderr)
             return 2
         print(summarize(docs))
         return 0
+
+    if args.command == "inspect":
+        return _inspect(args)
 
     if args.command == "families":
         from .perf.spec import SUITES
@@ -819,13 +923,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "run":
+        cap = CausalCapture() if args.causal_out else None
         try:
-            result = _run_once(args)
+            result = _run_once(args, cap)
         except (TerminationError, ProtocolError) as exc:
             if not _flattens(args, exc):
                 raise
+            _write_causal_artifact(args, cap)
             print(_stall_message(args, exc), file=sys.stderr)
             return 1
+        _write_causal_artifact(args, cap)
         print(result.summary())
         if args.show_tree:
             print()
@@ -835,13 +942,16 @@ def _dispatch(args: argparse.Namespace) -> int:
         return 0
 
     if args.command == "certify":
+        cap = CausalCapture() if args.causal_out else None
         try:
-            result = _run_once(args)
+            result = _run_once(args, cap)
         except (TerminationError, ProtocolError) as exc:
             if not _flattens(args, exc):
                 raise
+            _write_causal_artifact(args, cap)
             print(_stall_message(args, exc), file=sys.stderr)
             return 1
+        _write_causal_artifact(args, cap)
         print(result.summary())
         print()
         print(certify_run(result).summary())
@@ -954,6 +1064,55 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _fuzz(args)
 
     return 1  # pragma: no cover - argparse enforces commands
+
+
+def _inspect(args: argparse.Namespace) -> int:
+    """``repro inspect ARTIFACT``: forensics over a causal artifact."""
+    import json
+
+    from .obs.causal import (
+        attribution,
+        critical_path,
+        read_causal,
+        render_attribution,
+        render_critical_path,
+        render_summary,
+        write_timeline,
+    )
+
+    try:
+        header, rows = read_causal(args.artifact)
+        chain = critical_path(rows) if (args.critical_path or args.json) else []
+        if args.timeline:
+            timeline_path = write_timeline(args.timeline, header, rows)
+    except AnalysisError as exc:
+        print(f"inspect: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        payload: dict = {"summary": header.get("summary", {})}
+        if args.attribution:
+            payload["attribution"] = attribution(header)
+        if args.critical_path:
+            payload["critical_path"] = chain
+        if args.timeline:
+            payload["timeline"] = str(timeline_path)
+        print(json.dumps(payload, sort_keys=True))
+        return 0
+
+    for line in render_summary(header):
+        print(line)
+    if args.attribution:
+        print()
+        for line in render_attribution(header):
+            print(line)
+    if args.critical_path:
+        print()
+        for line in render_critical_path(rows):
+            print(line)
+    if args.timeline:
+        print(f"timeline: {timeline_path}", file=sys.stderr)
+    return 0
 
 
 def _campaign(args: argparse.Namespace) -> int:

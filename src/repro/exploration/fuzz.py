@@ -11,7 +11,9 @@ adversary:
   ordinary cell fields — mutable, cacheable, shrinkable and
   content-addressable exactly like counterexample artifacts;
 * a **coverage signal** (:func:`record_signature`) buckets each probe
-  record by outcome, degree movement and work-metric magnitudes; the
+  record by outcome, degree movement, work-metric magnitudes and the
+  causal forensics probes capture (critical-path depth, per-primitive
+  message-share shape, bound-touching finishes); the
   :class:`CoverageMap` admits a cell into the live corpus only when its
   probe reached a bucket no earlier input reached;
 * a **mutation engine** (:data:`MUTATION_OPS`, :func:`mutate_cell`)
@@ -91,16 +93,59 @@ def _bucket(value: int) -> int:
     return int(value).bit_length()
 
 
-def record_signature(record: RunRecord) -> tuple:
+def _section_shares(causal: dict) -> tuple:
+    """Per-primitive message-share buckets from a causal digest.
+
+    Each captured section's share of the run's messages is coarsened to
+    a ninth (0–8, via integer floor so shares always sum consistently);
+    the result is a sorted tuple of ``(section, ninths)`` pairs — a
+    *shape* of where the protocol spent its messages, insensitive to
+    absolute volume (which :func:`_bucket` components already cover).
+    Empty digests (uncaptured or pre-capture records) yield ``()``.
+    """
+    sections = causal.get("sections") or {}
+    total = sum(msgs for msgs, _bits in sections.values())
+    if not total:
+        return ()
+    return tuple(
+        sorted(
+            (name, min(8, (9 * msgs) // total))
+            for name, (msgs, _bits) in sections.items()
+        )
+    )
+
+
+def record_signature(record: RunRecord, opt: int | None = None) -> tuple:
     """Coverage signature of one probe record.
 
-    A **pure function of the record** (pinned by the property suite):
-    no clocks, no counters, no state — so serial, parallel and cached
-    probes of the same spec always land in the same bucket. Buckets
-    deliberately coarsen the work metrics (bit-length scale) so "same
-    behaviour, slightly different schedule" collapses while phase
+    A **pure function of** ``(record, opt)`` (pinned by the property
+    suite): no clocks, no counters, no state — so serial, parallel and
+    cached probes of the same spec always land in the same bucket.
+    Buckets deliberately coarsen the work metrics (bit-length scale) so
+    "same behaviour, slightly different schedule" collapses while phase
     changes (outcome flips, degree movement, message blow-ups) separate.
+
+    Three causal-forensics components ride at the end (appended, never
+    inserted — downstream digests index into the tuple):
+
+    * the bit-length bucket of the captured critical-path length
+      (schedules that stretch or compress the dependency chain separate
+      even at equal message counts);
+    * the per-primitive message-share shape (:func:`_section_shares` —
+      a schedule that starves the wave but floods token walks is new
+      behaviour);
+    * ``near_bound`` — True when the oracle solved the instance exactly
+      (*opt* is Δ*) and the run finished **at** its algorithm's claimed
+      degree bound: the worst certified tree the claim allows, exactly
+      the region counterexamples border.
     """
+    causal = record.causal or {}
+    near_bound = False
+    if opt is not None and record.ok:
+        from ..algorithms import get_algorithm
+
+        bound = get_algorithm(record.algorithm).degree_bound(opt, record.n)
+        near_bound = record.k_final == bound
     return (
         record.algorithm,
         record.outcome,
@@ -111,12 +156,16 @@ def record_signature(record: RunRecord) -> tuple:
         _bucket(record.messages),
         _bucket(record.events),
         _bucket(record.causal_time),
+        _bucket(int(causal.get("crit_len", 0))),
+        _section_shares(causal),
+        near_bound,
     )
 
 
 def result_signature(result: ExplorationResult) -> tuple:
     """Coverage signature of one judged cell: the instance shape, the
-    per-record signatures and the verdict's failure codes. The replay
+    per-record signatures (fed the verdict's Δ*, so the ``near_bound``
+    component is live) and the verdict's failure codes. The replay
     prefix and the seed are deliberately excluded — they are the search
     space, not the behaviour."""
     fallback = (
@@ -128,7 +177,9 @@ def result_signature(result: ExplorationResult) -> tuple:
         result.cell.family,
         result.cell.n,
         fallback,
-        tuple(record_signature(r) for r in result.records),
+        tuple(
+            record_signature(r, result.verdict.opt) for r in result.records
+        ),
         tuple(result.verdict.failures),
     )
 

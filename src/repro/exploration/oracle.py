@@ -20,7 +20,7 @@ cell), which is what lets the regression corpus pin them byte-for-byte.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass
+from dataclasses import dataclass, field
 from typing import Any, Sequence
 
 from ..algorithms import get_algorithm
@@ -49,12 +49,19 @@ class Verdict:
     ok: bool
     failures: tuple[str, ...] = ()
     details: tuple[str, ...] = ()
+    #: the exact optimum Δ* when the solver reached the instance, else
+    #: ``None``. A *derived convenience* for consumers (the fuzzer's
+    #: ``near_bound`` coverage signal buckets on it), not part of the
+    #: judgement: excluded from equality and from the JSON artifact so
+    #: every pinned corpus verdict stays byte-identical.
+    opt: int | None = field(default=None, compare=False)
 
     def to_json_dict(self) -> dict[str, Any]:
-        data = asdict(self)
-        data["failures"] = list(self.failures)
-        data["details"] = list(self.details)
-        return data
+        return {
+            "ok": self.ok,
+            "failures": list(self.failures),
+            "details": list(self.details),
+        }
 
     @classmethod
     def from_json_dict(cls, data: dict[str, Any]) -> "Verdict":
@@ -150,4 +157,9 @@ def check_cell(
                 f"claim: {degrees}",
             )
 
-    return Verdict(ok=not failures, failures=tuple(failures), details=tuple(details))
+    return Verdict(
+        ok=not failures,
+        failures=tuple(failures),
+        details=tuple(details),
+        opt=opt,
+    )

@@ -15,11 +15,19 @@ executor backend as the ``runner`` (pickled by reference into
 :class:`~repro.analysis.executor.ParallelExecutor` workers). When cached,
 it must use a salted cache (:data:`PROBE_CACHE_SALT`) so probe records
 never alias plain-run records of the same spec.
+
+Probes run with causal capture on: every probe record carries the
+provenance digest (critical-path length, per-primitive attribution) in
+its ``causal`` field, which is what the fuzzer's causal coverage
+signals bucket on. Captured or not, a record is a pure function of its
+spec, so the salted cache and the parallel fan-out stay byte-identical
+to serial runs.
 """
 
 from __future__ import annotations
 
-from ..analysis.executor import RunSpec, execute_cell
+from ..analysis.batch import CellTemplate
+from ..analysis.executor import RunSpec
 from ..analysis.records import RunRecord
 from ..errors import ReproError
 from ..graphs.generators import make_family
@@ -28,7 +36,9 @@ from ..spanning.provider import build_spanning_tree
 __all__ = ["probe_cell", "probe_cells", "PROBE_CACHE_SALT"]
 
 #: Cache-key salt for probe batches (see :func:`repro.analysis.cache.cache_key`).
-PROBE_CACHE_SALT = "exploration-probe:1"
+#: ``:2`` — probe records gained the causal capture digest, so they must
+#: never alias pre-capture probe entries (or plain-run records).
+PROBE_CACHE_SALT = "exploration-probe:2"
 
 
 def probe_cell(spec: RunSpec) -> RunRecord:
@@ -40,7 +50,9 @@ def probe_cell(spec: RunSpec) -> RunRecord:
     Everything else (``KeyboardInterrupt``, real crashes) propagates.
     """
     try:
-        return execute_cell(spec)
+        # the capturing twin of execute_cell: CellTemplate.run IS
+        # run_single's implementation, plus a per-run causal capture
+        return CellTemplate(spec, causal=True).run(spec.seed)
     except ReproError as exc:
         # re-derive the instance shape for the record; if the failure
         # originated here (bad family/method in a hand-edited artifact,
@@ -99,7 +111,7 @@ def probe_cells(cells) -> list[RunRecord]:
     from ..analysis.batch import run_cells
 
     try:
-        return run_cells(cells)
+        return run_cells(cells, causal=True)
     except ReproError:
         return [probe_cell(spec) for spec in cells]
 

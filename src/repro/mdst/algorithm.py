@@ -14,6 +14,7 @@ from ..sim.faults import FaultPlan, wrap_factory
 from ..sim.metrics import SimulationReport
 from ..sim.monitors import parent_pointers_form_forest
 from ..sim.network import Network
+from ..sim.provenance import CausalCapture
 from ..sim.scheduler import SchedulerPolicy
 from ..sim.trace import TraceRecorder
 from ..spanning.provider import build_spanning_tree
@@ -44,6 +45,7 @@ def run_mdst(
     max_events: int = 5_000_000,
     faults: FaultPlan | None = None,
     scheduler: SchedulerPolicy | None = None,
+    causal: CausalCapture | None = None,
 ) -> MDSTResult:
     """Run the distributed MDegST algorithm of Blin & Butelle on *graph*.
 
@@ -74,6 +76,11 @@ def run_mdst(
         Optional :class:`~repro.sim.scheduler.SchedulerPolicy` that takes
         over delivery ordering (adversarial schedule exploration); the
         *delay* model is then bypassed.
+    causal:
+        Optional :class:`~repro.sim.provenance.CausalCapture` recording
+        per-message provenance on the protocol network (the startup
+        spanning-tree construction is excluded, matching the paper's
+        accounting — and this report's ``causal_time``).
 
     Returns
     -------
@@ -93,6 +100,7 @@ def run_mdst(
         check_invariants=check_invariants,
         faults=faults,
         scheduler=scheduler,
+        causal=causal,
     )
     report = net.run(max_events=max_events) if net is not None else None
     return finalize(report)
@@ -110,6 +118,7 @@ def build_mdst(
     check_invariants: bool = False,
     faults: FaultPlan | None = None,
     scheduler: SchedulerPolicy | None = None,
+    causal: CausalCapture | None = None,
 ) -> tuple[Network | None, "Callable[[SimulationReport | None], MDSTResult]"]:
     """The build half of :func:`run_mdst`: validate inputs, construct the
     network, and return ``(net, finalize)``, where ``finalize(report)``
@@ -148,6 +157,7 @@ def build_mdst(
         trace=trace,
         monitors=monitors,
         scheduler=scheduler,
+        causal=causal,
     )
     tree = initial_tree
     return net, lambda report: finalize_protocol_run(net, graph, tree, report)

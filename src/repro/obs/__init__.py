@@ -4,8 +4,15 @@ The observability substrate: a process-local registry of counters,
 structured events and hierarchical spans (:mod:`repro.obs.telemetry`),
 exported as deterministic JSONL trace artifacts
 (:mod:`repro.obs.trace`, the ``--trace-out`` flag on ``sweep`` /
-``campaign`` / ``explore`` / ``bench``) and summarized by
-``repro obs PATH`` (:mod:`repro.obs.report`).
+``campaign`` / ``explore`` / ``bench``), summarized by
+``repro obs PATH`` and diffed by ``repro obs --diff A B``
+(:mod:`repro.obs.report` / :func:`diff_traces`).
+
+Causal run forensics live in :mod:`repro.obs.causal`: the analysis half
+of the simulation core's provenance layer — exact critical-path
+extraction, per-primitive attribution tables and a Chrome-trace
+timeline exporter over artifacts captured with ``--causal-out`` and
+rendered by ``repro inspect``.
 
 Instrumented layers call :func:`current` and observe into whatever
 capture is active — or into the shared no-op sink when none is, so
@@ -14,10 +21,21 @@ for. The section contract (which observations must be byte-identical
 across which backends) is documented in :mod:`repro.obs.trace`.
 """
 
+from .causal import (
+    CAUSAL_LAYOUT,
+    attribution,
+    causal_lines,
+    critical_path,
+    read_causal,
+    timeline,
+    write_causal,
+    write_timeline,
+)
 from .report import summarize
 from .telemetry import NULL, Span, Telemetry, capture, current, suspended
 from .trace import (
     TRACE_LAYOUT,
+    diff_traces,
     read_trace,
     section_of,
     trace_lines,
@@ -33,10 +51,19 @@ __all__ = [
     "current",
     "suspended",
     "TRACE_LAYOUT",
+    "diff_traces",
     "read_trace",
     "section_of",
     "trace_lines",
     "work_section",
     "write_trace",
     "summarize",
+    "CAUSAL_LAYOUT",
+    "attribution",
+    "causal_lines",
+    "critical_path",
+    "read_causal",
+    "timeline",
+    "write_causal",
+    "write_timeline",
 ]

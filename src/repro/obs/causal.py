@@ -1,0 +1,316 @@
+"""Causal run forensics: artifact IO, critical path, attribution, timeline.
+
+The simulation core's provenance layer (:mod:`repro.sim.provenance`)
+records the causal DAG of a run — every handled event with its handler
+parent, clock parent and owning primitive section. This module is the
+analysis half:
+
+* :func:`write_causal` / :func:`read_causal` — a deterministic JSONL
+  artifact (one header document carrying the attribution summary, then
+  one document per event in handling order). Byte-identical for the
+  same run spec regardless of jobs or cache state: the capture is a pure
+  function of the schedule.
+* :func:`critical_path` — the exact chain of deliveries realizing the
+  run's ``causal_time``, extracted by walking clock-parent links from
+  the deepest event. The walk is *verified*: its length must equal the
+  maximum recorded depth (one delivery per depth level), and a mismatch
+  raises :class:`~repro.errors.AnalysisError` rather than returning a
+  plausible-looking chain.
+* :func:`attribution` — per-primitive and per-phase message/bit tables
+  (computed at send time by the capture, so stalled runs still charge
+  their in-flight messages).
+* :func:`timeline` — a Chrome-trace / Perfetto JSON object: one track
+  per node, one slice per handled event, flow arrows along the critical
+  path. Contains no wall-clock data, so it is as deterministic as the
+  run itself.
+
+``repro inspect`` renders all of these from a stored artifact.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from ..errors import AnalysisError
+from ..sim.provenance import CausalCapture
+
+__all__ = [
+    "CAUSAL_LAYOUT",
+    "causal_lines",
+    "write_causal",
+    "read_causal",
+    "critical_path",
+    "attribution",
+    "timeline",
+    "write_timeline",
+    "render_summary",
+    "render_critical_path",
+    "render_attribution",
+]
+
+CAUSAL_LAYOUT = 1
+
+
+def _dumps(doc: dict[str, Any]) -> str:
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def causal_lines(capture: CausalCapture, *, command: str = "") -> list[str]:
+    """Serialize a capture to deterministic JSONL lines (header first,
+    then one line per event in handling order)."""
+    header = {
+        "kind": "header",
+        "artifact": "causal",
+        "layout": CAUSAL_LAYOUT,
+        "command": command,
+        "summary": capture.summary(),
+    }
+    lines = [_dumps(header)]
+    for row in capture.rows:
+        doc = row.to_json_dict()
+        doc["kind_doc"] = "event"
+        lines.append(_dumps(doc))
+    return lines
+
+
+def write_causal(
+    path: str | Path, capture: CausalCapture, *, command: str = ""
+) -> Path:
+    """Write a capture as a JSONL causal artifact; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        "\n".join(causal_lines(capture, command=command)) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+def read_causal(path: str | Path) -> tuple[dict[str, Any], list[dict[str, Any]]]:
+    """Load a causal artifact → ``(header, rows)``.
+
+    Raises :class:`~repro.errors.AnalysisError` for missing files,
+    non-causal artifacts and unsupported layouts.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise AnalysisError(f"no such causal artifact: {path}")
+    docs = []
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                docs.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise AnalysisError(f"not a causal artifact: {path}") from exc
+    if not docs or docs[0].get("kind") != "header":
+        raise AnalysisError(f"missing causal header: {path}")
+    header = docs[0]
+    if header.get("artifact") != "causal":
+        raise AnalysisError(f"not a causal artifact: {path}")
+    if header.get("layout") != CAUSAL_LAYOUT:
+        raise AnalysisError(
+            f"unsupported causal layout {header.get('layout')!r} (have "
+            f"{CAUSAL_LAYOUT}): {path}"
+        )
+    return header, docs[1:]
+
+
+def critical_path(rows: list[dict[str, Any]]) -> list[dict[str, Any]]:
+    """The chain of deliveries realizing the run's ``causal_time``.
+
+    Starts from the deepest event (first by handling order on ties) and
+    follows ``clock`` parents — the delivery that raised the sender's
+    causal clock to ``depth - 1`` — down to a depth-1 delivery. Returned
+    root-first. Verified exact: the chain must contain one delivery per
+    depth level, so ``len(chain) == max depth == causal_time``.
+    """
+    if not rows:
+        return []
+    tip = None
+    for row in rows:
+        if tip is None or row["depth"] > tip["depth"]:
+            tip = row
+    if tip is None or tip["depth"] == 0:
+        return []
+    by_idx = {row["idx"]: row for row in rows}
+    chain = []
+    cur: dict[str, Any] | None = tip
+    while cur is not None:
+        chain.append(cur)
+        nxt = cur["clock"]
+        if nxt is None:
+            break
+        cur = by_idx.get(nxt)
+        if cur is None:
+            raise AnalysisError(
+                f"causal artifact is self-inconsistent: clock parent {nxt} "
+                "missing"
+            )
+    chain.reverse()
+    if len(chain) != tip["depth"] or any(
+        row["depth"] != i + 1 for i, row in enumerate(chain)
+    ):
+        raise AnalysisError(
+            "critical path does not realize the recorded causal depth "
+            f"(chain of {len(chain)} vs depth {tip['depth']})"
+        )
+    return chain
+
+
+def attribution(header: dict[str, Any]) -> dict[str, Any]:
+    """Per-primitive and per-phase attribution tables from an artifact
+    header (messages/bits charged at send time)."""
+    summary = header.get("summary") or {}
+    return {
+        "sections": dict(summary.get("sections") or {}),
+        "phases": dict(summary.get("phases") or {}),
+        "crit_len": int(summary.get("crit_len") or 0),
+        "events": int(summary.get("events") or 0),
+        "messages": int(summary.get("messages") or 0),
+        "in_flight": int(summary.get("in_flight") or 0),
+    }
+
+
+def timeline(
+    header: dict[str, Any], rows: list[dict[str, Any]]
+) -> dict[str, Any]:
+    """Chrome-trace/Perfetto JSON for a captured run.
+
+    One ``tid`` track per node, one ``"X"`` (complete) slice per handled
+    event at its simulated time, flow arrows (``s``/``f`` pairs) along
+    the critical path. Timestamps are simulated time in microseconds
+    (unit delay = 1 µs) — no wall-clock leaks in, so the export is
+    deterministic.
+    """
+    events: list[dict[str, Any]] = []
+    for row in rows:
+        name = row["msg"] if row["kind"] == "deliver" else "start"
+        slice_doc = {
+            "name": name,
+            "ph": "X",
+            "ts": row["time"],
+            "dur": 0.8,
+            "pid": 0,
+            "tid": row["node"],
+            "cat": row["section"] or "start",
+            "args": {
+                "depth": row["depth"],
+                "sender": row["sender"],
+                "section": row["section"],
+                "phase": row["phase"],
+                "bits": row["bits"],
+            },
+        }
+        events.append(slice_doc)
+    chain = critical_path(rows)
+    for pos, row in enumerate(chain):
+        if pos + 1 < len(chain):
+            events.append(
+                {
+                    "name": "critical-path",
+                    "ph": "s",
+                    "cat": "critical",
+                    "id": pos,
+                    "ts": row["time"],
+                    "pid": 0,
+                    "tid": row["node"],
+                }
+            )
+            nxt = chain[pos + 1]
+            events.append(
+                {
+                    "name": "critical-path",
+                    "ph": "f",
+                    "bp": "e",
+                    "cat": "critical",
+                    "id": pos,
+                    "ts": nxt["time"],
+                    "pid": 0,
+                    "tid": nxt["node"],
+                }
+            )
+    nodes = sorted({row["node"] for row in rows})
+    for node in nodes:
+        events.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": node,
+                "args": {"name": f"node {node}"},
+            }
+        )
+    return {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "artifact": "repro-causal-timeline",
+            "command": header.get("command", ""),
+            "crit_len": int((header.get("summary") or {}).get("crit_len") or 0),
+        },
+        "traceEvents": events,
+    }
+
+
+def write_timeline(
+    path: str | Path, header: dict[str, Any], rows: list[dict[str, Any]]
+) -> Path:
+    """Write the Chrome-trace JSON for an artifact; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(timeline(header, rows), sort_keys=True, indent=1) + "\n",
+        encoding="utf-8",
+    )
+    return path
+
+
+# -- renderers for `repro inspect` --------------------------------------------
+
+
+def render_summary(header: dict[str, Any]) -> list[str]:
+    att = attribution(header)
+    lines = [
+        f"causal artifact: {att['events']} events, {att['messages']} "
+        f"messages delivered, {att['in_flight']} in flight",
+        f"critical path: {att['crit_len']} deliveries",
+    ]
+    if header.get("command"):
+        lines.insert(0, f"command: {header['command']}")
+    return lines
+
+
+def render_attribution(header: dict[str, Any]) -> list[str]:
+    att = attribution(header)
+    lines = ["section          messages        bits"]
+    total_msgs = sum(v[0] for v in att["sections"].values())
+    total_bits = sum(v[1] for v in att["sections"].values())
+    for name, (msgs, bits) in sorted(att["sections"].items()):
+        lines.append(f"{name:<16} {msgs:>8} {bits:>11}")
+    lines.append(f"{'total':<16} {total_msgs:>8} {total_bits:>11}")
+    if att["phases"]:
+        lines.append("")
+        lines.append("phase            messages        bits")
+        for name, (msgs, bits) in sorted(att["phases"].items()):
+            lines.append(f"{name:<16} {msgs:>8} {bits:>11}")
+    return lines
+
+
+def render_critical_path(rows: list[dict[str, Any]]) -> list[str]:
+    chain = critical_path(rows)
+    if not chain:
+        return ["critical path: empty (no deliveries captured)"]
+    lines = [f"critical path ({len(chain)} deliveries, root first):"]
+    for row in chain:
+        section = row["section"] or "-"
+        phase = f" phase={row['phase']}" if row["phase"] else ""
+        lines.append(
+            f"  depth {row['depth']:>4}  t={row['time']:<8g} "
+            f"{row['sender']:>3} -> {row['node']:<3} {row['msg']:<16} "
+            f"[{section}]{phase}"
+        )
+    return lines

@@ -30,12 +30,15 @@ timing iterations never leak into the work sections).
 Subscribers (the ``on_event`` hook) receive every observation live as
 ``(kind, payload)`` pairs — ``span_start`` / ``span_end`` / ``count`` /
 ``event`` — which is the progress-streaming substrate a long-running
-service layer can attach to without touching the trace files.
+service layer can attach to without touching the trace files. A
+subscriber that raises is warned about (once) and dropped: observation
+never corrupts span state or kills the observed run.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from contextlib import contextmanager
 from typing import Any, Callable, Iterator
 
@@ -161,12 +164,31 @@ class Telemetry:
     # -- live progress hook -------------------------------------------
 
     def subscribe(self, fn: Subscriber) -> None:
-        """Attach a live observer (the service-layer progress hook)."""
+        """Attach a live observer (the service-layer progress hook).
+
+        Subscribers are *isolated*: one that raises is warned about once
+        and dropped, and can never corrupt span-stack state or kill the
+        observed run — observation must stay side-effect-free for the
+        computation being observed.
+        """
         self._subscribers.append(fn)
 
     def _notify(self, kind: str, payload: dict[str, Any]) -> None:
-        for fn in self._subscribers:
-            fn(kind, payload)
+        # iterate a copy: a failing subscriber is removed mid-loop
+        for fn in tuple(self._subscribers):
+            try:
+                fn(kind, payload)
+            except Exception as exc:
+                try:
+                    self._subscribers.remove(fn)
+                except ValueError:
+                    pass
+                warnings.warn(
+                    f"telemetry subscriber {fn!r} raised "
+                    f"{type(exc).__name__}: {exc}; subscriber dropped",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
 
 
 class _NullTelemetry(Telemetry):

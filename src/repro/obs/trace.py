@@ -55,6 +55,7 @@ __all__ = [
     "write_trace",
     "read_trace",
     "work_section",
+    "diff_traces",
 ]
 
 TRACE_LAYOUT = 1
@@ -210,3 +211,80 @@ def work_section(docs: list[dict[str, Any]]) -> list[dict[str, Any]]:
         if doc["kind"] == "span"
         or (doc["kind"] in ("counter", "event") and doc.get("section") == "work")
     ]
+
+
+def diff_traces(
+    a_docs: list[dict[str, Any]], b_docs: list[dict[str, Any]]
+) -> tuple[list[str], bool]:
+    """Compare two parsed traces → ``(report lines, work_diverged)``.
+
+    Reports counter deltas by section, span-tree divergences (first
+    differing DFS position) and event-stream divergences, so a broken
+    warm-replay or ``--jobs`` determinism surface is *diagnosable* —
+    which exact counter moved, which span changed — instead of a bare
+    ``cmp`` failure. ``work_diverged`` is True iff the work sections
+    (the slice pinned byte-identical across every backend) differ;
+    ``cache``/``exec`` deltas are reported but expected between, say, a
+    cold and a warm run.
+    """
+    lines: list[str] = []
+
+    def counters(docs):
+        return {
+            (d["section"], d["name"]): d["value"]
+            for d in docs
+            if d["kind"] == "counter"
+        }
+
+    ca, cb = counters(a_docs), counters(b_docs)
+    for key in sorted(set(ca) | set(cb)):
+        va, vb = ca.get(key), cb.get(key)
+        if va != vb:
+            section, name = key
+            lines.append(
+                f"counter [{section}] {name}: "
+                f"{'-' if va is None else va} -> {'-' if vb is None else vb}"
+            )
+
+    def spans(docs):
+        return [
+            (d["parent"], d["name"], d["attrs"])
+            for d in docs
+            if d["kind"] == "span"
+        ]
+
+    sa, sb = spans(a_docs), spans(b_docs)
+    if len(sa) != len(sb):
+        lines.append(f"span count: {len(sa)} -> {len(sb)}")
+    for i, (ra, rb) in enumerate(zip(sa, sb)):
+        if ra != rb:
+            lines.append(f"span #{i}: {ra[1]}{ra[2]} -> {rb[1]}{rb[2]}")
+            break
+
+    def events(docs, section):
+        return [
+            (d["name"], d["fields"])
+            for d in docs
+            if d["kind"] == "event" and d.get("section") == section
+        ]
+
+    for section in DETERMINISTIC_SECTIONS:
+        ea, eb = events(a_docs, section), events(b_docs, section)
+        if ea != eb:
+            first = next(
+                (i for i, (x, y) in enumerate(zip(ea, eb)) if x != y),
+                min(len(ea), len(eb)),
+            )
+            lines.append(
+                f"events [{section}]: {len(ea)} vs {len(eb)}, first "
+                f"divergence at #{first}"
+            )
+
+    work_diverged = work_section(a_docs) != work_section(b_docs)
+    if work_diverged:
+        lines.append("work section DIVERGED (determinism contract violated)")
+    elif lines:
+        lines.append("work section identical")
+    else:
+        lines.append("traces identical (deterministic sections)")
+    return lines, work_diverged

@@ -20,6 +20,7 @@ from collections.abc import Callable, Iterable
 from typing import Any, Protocol
 
 from ..errors import ProtocolError
+from ..sim.provenance import stamp
 
 __all__ = ["Aggregate", "Convergecast"]
 
@@ -67,11 +68,13 @@ class Convergecast:
 
     def open(self) -> None:
         """Declare the broadcast sent; fires completion for leaves."""
+        stamp("convergecast")
         if not self.pending:
             self._on_complete(self.aggregate)
 
     def absorb(self, child: int, payload: Any) -> None:
         """Fold one child report in; fires completion on the last one."""
+        stamp("convergecast")
         if child not in self.pending:
             raise ProtocolError(f"{self.name}: unexpected report from {child}")
         self.aggregate.absorb(child, payload)

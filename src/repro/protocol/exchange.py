@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from ..errors import ProtocolError
 from ..sim.messages import Message
+from ..sim.provenance import stamp
 
 __all__ = [
     "Update",
@@ -82,6 +83,7 @@ class ExchangeMixin:
     # awaiting_exchange, pending_attach, _exchange_finished()
 
     def _on_update(self, sender: int, msg: Update) -> None:
+        stamp("exchange")
         if sender != self.parent:
             raise ProtocolError(f"{self.node_id}: Update from non-parent {sender}")
         if self.node_id == msg.local:
@@ -96,6 +98,7 @@ class ExchangeMixin:
     def _attach(self, remote: int) -> None:
         """This node is the local endpoint: ask the remote endpoint to
         adopt us; the flip proceeds once the adoption is acknowledged."""
+        stamp("exchange")
         if remote not in self.neighbors:
             raise ProtocolError(
                 f"{self.node_id}: chosen edge to non-neighbor {remote}"
@@ -104,6 +107,7 @@ class ExchangeMixin:
         self.send(remote, ChildMsg())
 
     def _on_child(self, sender: int) -> None:
+        stamp("exchange")
         self.children.add(sender)
         self.send(sender, ChildAck())
         if self.round_k and self.degree() >= self.round_k:
@@ -116,6 +120,7 @@ class ExchangeMixin:
         """Adoption confirmed: commit the re-rooting (repair: without the
         ack, ExchangeDone can outrun ChildMsg and the next round's Search
         would miss the fresh child)."""
+        stamp("exchange")
         if self.pending_attach != sender:
             raise ProtocolError(f"{self.node_id}: stray ChildAck from {sender}")
         self.pending_attach = None
@@ -131,6 +136,7 @@ class ExchangeMixin:
 
     def _on_flip_back(self, sender: int) -> None:
         """One reversal hop: my via-side child becomes my parent."""
+        stamp("exchange")
         if sender not in self.children:
             raise ProtocolError(f"{self.node_id}: FlipBack from non-child {sender}")
         old_parent = self.parent
@@ -145,6 +151,7 @@ class ExchangeMixin:
             self.send(old_parent, FlipBack())
 
     def _on_exchange_done(self, sender: int) -> None:
+        stamp("exchange")
         if not (self.is_cutter and self.awaiting_exchange):
             raise ProtocolError(f"{self.node_id}: unexpected ExchangeDone")
         self.children.discard(sender)

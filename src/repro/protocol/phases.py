@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections.abc import Callable, Mapping
 
 from ..errors import ProtocolError
+from ..sim.provenance import stamp, stamp_phase
 
 __all__ = ["CountdownBarrier", "PhaseSequencer"]
 
@@ -34,6 +35,7 @@ class CountdownBarrier:
         self.name = name
 
     def arrive(self) -> None:
+        stamp("barrier")
         if self.remaining <= 0:
             raise ProtocolError(f"{self.name}: arrival after barrier release")
         self.remaining -= 1
@@ -71,6 +73,8 @@ class PhaseSequencer:
         """Enter the next phase (wrapping) and run its entry callback."""
         self.index = (self.index + 1) % len(self.phases)
         phase = self.phases[self.index]
+        stamp("sequencer")
+        stamp_phase(phase)
         callback = self._callbacks.get(phase)
         if callback is not None:
             callback()
@@ -79,6 +83,8 @@ class PhaseSequencer:
     def reset(self) -> None:
         """Jump back to the first phase without firing its callback."""
         self.index = 0
+        stamp("sequencer")
+        stamp_phase(self.phases[0])
 
     def require(self, phase: str, what: str = "message") -> None:
         if self.current != phase:

@@ -16,6 +16,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+from ..sim.provenance import stamp
+
 __all__ = ["TokenWalk", "RootMigration"]
 
 
@@ -30,6 +32,7 @@ class TokenWalk:
     def next_hop(self, neighbors: Iterable[int], parent: int | None) -> int | None:
         """Pick (and mark used) the smallest unused non-parent neighbor,
         or ``None`` when this node's edges are exhausted."""
+        stamp("token_walk")
         candidates = [v for v in neighbors if v not in self.used and v != parent]
         if not candidates:
             return None
@@ -49,10 +52,12 @@ class RootMigration:
 
     def depart(self, via: int) -> None:
         """Record that rootship was handed to *via* (ack pending)."""
+        stamp("root_migration")
         self.outstanding = via
 
     def acknowledged(self, sender: int) -> bool:
         """True iff *sender* is the awaited hop; clears the handoff."""
+        stamp("root_migration")
         if self.outstanding != sender:
             return False
         self.outstanding = None

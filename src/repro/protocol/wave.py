@@ -22,6 +22,7 @@ from collections.abc import Iterable
 from typing import Any
 
 from ..errors import ProtocolError
+from ..sim.provenance import stamp
 
 __all__ = ["DrainSet", "WaveEchoTracker"]
 
@@ -40,6 +41,7 @@ class DrainSet:
         return not self.pending
 
     def satisfy(self, peer: int) -> None:
+        stamp("wave")
         if peer not in self.pending:
             raise ProtocolError(f"{self.name}: unexpected reply from {peer}")
         self.pending.discard(peer)
@@ -88,6 +90,7 @@ class WaveEchoTracker:
 
     def arm(self, echo: Iterable[int], cross: Iterable[int]) -> None:
         """Install expectations once the node adopts a fragment identity."""
+        stamp("wave")
         if self.armed:
             raise ProtocolError(f"{self.name}: armed twice in one round")
         self.armed = True
@@ -99,17 +102,20 @@ class WaveEchoTracker:
         self.deferred.append(item)
 
     def take_deferred(self) -> list[Any]:
+        stamp("wave")
         pending, self.deferred = self.deferred, []
         return pending
 
     # -- replies ---------------------------------------------------------
 
     def echo_from(self, child: int) -> None:
+        stamp("wave")
         if child not in self.expected_echo:
             raise ProtocolError(f"{self.name}: unexpected echo from {child}")
         self.expected_echo.discard(child)
 
     def cross_from(self, peer: int) -> None:
+        stamp("wave")
         if peer not in self.expected_cross:
             raise ProtocolError(f"{self.name}: unexpected cross reply from {peer}")
         self.expected_cross.discard(peer)
@@ -130,6 +136,7 @@ class WaveEchoTracker:
 
     def finish_once(self) -> bool:
         """True exactly once, when fully drained (echo/choose latch)."""
+        stamp("wave")
         if self.echoed or self.expected_echo or self.expected_cross:
             return False
         self.echoed = True

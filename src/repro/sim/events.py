@@ -120,7 +120,10 @@ class EventQueue:
     ) -> int:
         """Schedule an event without materializing an :class:`Event`.
 
-        Returns the sequence number assigned to the entry.
+        Returns the sequence number assigned to the entry. ``seq`` is
+        unique per queue and is the correlation key the provenance layer
+        (:mod:`repro.sim.provenance`) uses to join a send with its
+        eventual delivery.
         """
         if time < self._now:
             raise SchedulingError(

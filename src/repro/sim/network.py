@@ -62,6 +62,7 @@ from .events import BucketQueue, Event, EventKind, EventQueue
 from .messages import MESSAGE_TYPE_BITS, Message
 from .metrics import MessageStats, SimulationReport
 from .node import NodeContext, Process
+from .provenance import CausalCapture, swap_active
 from .scheduler import PolicyQueue, SchedulerPolicy
 from .trace import TraceRecord, TraceRecorder
 
@@ -123,6 +124,12 @@ class Network:
         Optional :class:`~repro.sim.scheduler.SchedulerPolicy`. When set,
         the policy picks every delivery (the *delay* model is bypassed;
         simulated time becomes the virtual step index).
+    causal:
+        Optional :class:`~repro.sim.provenance.CausalCapture`. When set,
+        every send/delivery is recorded with handler/clock parentage and
+        primitive attribution; like a trace, a capture routes the run
+        through the general drive loop (the fast paths require
+        ``causal is None`` and stay byte-for-byte untouched).
     """
 
     def __init__(
@@ -137,6 +144,7 @@ class Network:
         monitors: Iterable[object] = (),
         monitor_interval: int = 256,
         scheduler: SchedulerPolicy | None = None,
+        causal: CausalCapture | None = None,
     ) -> None:
         if graph.n == 0:
             raise SimulationError("cannot simulate an empty network")
@@ -162,6 +170,9 @@ class Network:
             self.queue = EventQueue()
         self.stats = MessageStats(n=graph.n)
         self.trace = trace
+        self._causal = causal
+        if causal is not None:
+            causal.bind(graph.n)
         self.monitors = tuple(monitors)
         self.monitor_interval = int(monitor_interval)
         # per-node causal clocks: flat list under dense ids (every graph
@@ -185,6 +196,7 @@ class Network:
         if (
             trace is None
             and scheduler is None
+            and causal is None
             and self._unit_delay
             and not self._mutated_slow
         ):
@@ -299,12 +311,14 @@ class Network:
                 deliver_at = floor
             floors[key] = deliver_at  # type: ignore[index]
         depth = self._clocks[src] + 1
-        queue.push_raw(deliver_at, _DELIVER, dst, src, msg, depth)
+        seq = queue.push_raw(deliver_at, _DELIVER, dst, src, msg, depth)
         self._in_flight += 1
         if self._slow_accounting:
             self.stats.record_send_legacy(msg)
         else:
             self.stats.record_send(msg)
+        if self._causal is not None:
+            self._causal.on_send(seq, src, msg, depth)
         if self.trace is not None:
             self.trace.emit(TraceRecord(now, "send", src, dst, msg))
 
@@ -359,7 +373,7 @@ class Network:
         self._slow_accounting = slow
         if slow:
             return self._drive_mutated_slow(stop_at)
-        if self.trace is None and self.scheduler is None:
+        if self.trace is None and self.scheduler is None and self._causal is None:
             if type(self.queue) is BucketQueue:
                 if not self.monitors:
                     return self._drive_fast_bucket(stop_at)
@@ -543,10 +557,12 @@ class Network:
 
         queue = self.queue
         trace = self.trace
+        causal = self._causal
         monitors = self.monitors
         monitor_interval = self.monitor_interval
         n = self.graph.n
         processed = self._processed
+        prev_active = swap_active(causal) if causal is not None else None
         try:
             while queue and processed < stop_at:
                 event = Event(*queue.pop_raw())
@@ -557,6 +573,8 @@ class Network:
                         trace.emit(
                             TraceRecord(event.time, "start", -1, event.target, None)
                         )
+                    if causal is not None:
+                        causal.begin_start(event.target, event.time)
                     proc.on_start()
                 else:
                     self._in_flight -= 1
@@ -574,11 +592,18 @@ class Network:
                                 event.payload,
                             )
                         )
+                    if causal is not None:
+                        causal.begin_deliver(
+                            event.seq, event.target, event.sender, event.time,
+                            event.depth,
+                        )
                     proc.on_message(event.sender, event.payload)
                 if monitors and processed % monitor_interval == 0:
                     for monitor in monitors:
                         monitor(self)  # type: ignore[operator]
         finally:
+            if causal is not None:
+                swap_active(prev_active)
             self._processed = processed
         return processed
 
@@ -593,12 +618,17 @@ class Network:
         queue = self.queue
         pop_raw = queue.pop_raw
         trace = self.trace
+        causal = self._causal
         monitors = self.monitors
         monitor_interval = self.monitor_interval
         clocks = self._clocks
         stats = self.stats
         on_message, on_start = self._handler_tables()
         processed = self._processed
+        # the capture becomes the primitives' stamp target for exactly
+        # this chunk (restored on exit), so lockstep-interleaved replica
+        # networks each attribute into their own capture
+        prev_active = swap_active(causal) if causal is not None else None
         try:
             while queue and processed < stop_at:
                 time, _seq, kind, target, sender, payload, depth = pop_raw()
@@ -614,14 +644,20 @@ class Network:
                         stats.max_sim_time = time
                     if trace is not None:
                         trace.emit(TraceRecord(time, "deliver", sender, target, payload))
+                    if causal is not None:
+                        causal.begin_deliver(_seq, target, sender, time, depth)
                     on_message[target](sender, payload)
                 else:
                     if trace is not None:
                         trace.emit(TraceRecord(time, "start", -1, target, None))
+                    if causal is not None:
+                        causal.begin_start(target, time)
                     on_start[target]()
                 if monitors and processed % monitor_interval == 0:
                     for monitor in monitors:
                         monitor(self)  # type: ignore[operator]
         finally:
+            if causal is not None:
+                swap_active(prev_active)
             self._processed = processed
         return processed

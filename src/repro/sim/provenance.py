@@ -1,0 +1,267 @@
+"""Opt-in message provenance: the causal capture layer.
+
+The engine's metrics answer *how much* a run did (messages, bits,
+``causal_time``); this layer answers *why*. A :class:`CausalCapture`
+attached to a :class:`~repro.sim.network.Network` records, for every
+delivered event, two parent links plus an ownership tag:
+
+* **handler parent** — the delivery whose handler sent the message (who
+  caused this send, program-order causality);
+* **clock parent** — the delivery that raised the sender's causal clock
+  to ``depth - 1`` (who determined this message's *depth*). Following
+  clock parents from the deepest event reconstructs the exact chain
+  realizing the run's ``causal_time``: the critical path. The two
+  parents genuinely differ — a handler may send long after an earlier
+  delivery raised its node's clock — which is why both are recorded;
+* **section / phase** — which protocol primitive owns the send. The
+  primitives (:mod:`repro.protocol`) never send messages themselves
+  (the host process owns every send, a byte-pinned discipline), so they
+  stamp a module-global *current section* tag via :func:`stamp` when
+  their bookkeeping runs, and the capture reads it at the next send.
+  Sends issued before any primitive call in a handler fall into the
+  honest catch-all section ``"protocol"``. :func:`stamp_phase` tracks
+  the last :class:`~repro.protocol.phases.PhaseSequencer` phase entered
+  (it persists across events; sections reset per event).
+
+Default-off and zero-overhead: a network without a capture keeps its
+fast drive loops byte-for-byte (the capture rides
+``Network._drive_general`` exactly like traces do), and an inactive
+:func:`stamp` is one module-global load plus a ``None`` check. The
+active capture pointer is swapped in per drive chunk (and restored on
+exit), so lockstep-interleaved replica networks each stamp into their
+own capture.
+
+Everything recorded is a pure function of the run: serial, ``--jobs N``
+and warm-cache replays of the same spec produce byte-identical rows and
+summaries (pinned by ``tests/test_causal.py``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any
+
+from .codec import codec_entries, codec_entry
+from .messages import MESSAGE_TYPE_BITS
+
+__all__ = [
+    "CausalEvent",
+    "CausalCapture",
+    "stamp",
+    "stamp_phase",
+    "swap_active",
+    "UNATTRIBUTED_SECTION",
+]
+
+#: Section charged for sends issued before any primitive stamped the
+#: current handler (host-process bookkeeping like direct acks).
+UNATTRIBUTED_SECTION = "protocol"
+
+
+@dataclass(frozen=True, slots=True)
+class CausalEvent:
+    """One handled event (a START wake-up or a message delivery).
+
+    ``parent`` / ``clock`` are row indices into the owning capture's
+    ``rows`` list (``None`` at chain roots). ``depth`` is the engine's
+    causal depth; the maximum over a run equals the report's
+    ``causal_time``, and walking ``clock`` links from the deepest row
+    yields exactly that many deliveries (the critical path).
+    """
+
+    idx: int
+    kind: str  # "start" | "deliver"
+    node: int
+    sender: int  # -1 for start rows
+    time: float
+    depth: int  # 0 for start rows
+    msg: str  # message class name ("" for start rows)
+    bits: int  # codec bit cost of the message (0 for start rows)
+    section: str  # owning primitive at send time ("" for start rows)
+    phase: str  # last sequencer phase entered at send time
+    parent: int | None  # handler parent (the delivery that sent this)
+    clock: int | None  # clock parent (who determined `depth`)
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "idx": self.idx,
+            "kind": self.kind,
+            "node": self.node,
+            "sender": self.sender,
+            "time": self.time,
+            "depth": self.depth,
+            "msg": self.msg,
+            "bits": self.bits,
+            "section": self.section,
+            "phase": self.phase,
+            "parent": self.parent,
+            "clock": self.clock,
+        }
+
+
+class CausalCapture:
+    """Provenance recorder for one network run.
+
+    Pass one as ``Network(..., causal=capture)`` (or through any
+    registered algorithm's ``causal=`` keyword) and drive the run;
+    afterwards ``rows`` holds the full causal DAG and :meth:`summary`
+    the flat attribution digest that travels on
+    :class:`~repro.analysis.records.RunRecord`.
+    """
+
+    __slots__ = (
+        "rows",
+        "_pending",
+        "_clocks",
+        "_last_clock",
+        "_cur",
+        "_section",
+        "_phase",
+        "_sent",
+        "_phase_sent",
+        "_id_bits",
+    )
+
+    def __init__(self) -> None:
+        self.rows: list[CausalEvent] = []
+        #: queue seq -> send-time provenance, consumed at delivery
+        self._pending: dict[int, tuple] = {}
+        self._clocks: dict[int, int] = {}
+        self._last_clock: dict[int, int] = {}
+        self._cur: int | None = None
+        self._section: str = ""
+        self._phase: str = ""
+        #: send-time attribution: section -> [messages, bits] (counts
+        #: every send, including ones a stalled run never delivers)
+        self._sent: dict[str, list[int]] = {}
+        self._phase_sent: dict[str, list[int]] = {}
+        self._id_bits = 1
+
+    def bind(self, n: int) -> None:
+        """Fix the network size (per-field bit accounting, as in
+        :class:`~repro.sim.metrics.MessageStats`)."""
+        self._id_bits = max(1, math.ceil(math.log2(max(n, 2))))
+
+    # -- send side (called by Network._send) ---------------------------
+
+    def on_send(self, seq: int, src: int, msg: Any, depth: int) -> None:
+        entry = codec_entries().get(msg.__class__)
+        if entry is None:
+            entry = codec_entry(msg.__class__)
+        bits = MESSAGE_TYPE_BITS + entry.count(msg) * self._id_bits
+        section = self._section or UNATTRIBUTED_SECTION
+        self._pending[seq] = (
+            self._cur,
+            self._last_clock.get(src),
+            entry.name,
+            bits,
+            section,
+            self._phase,
+        )
+        tally = self._sent.get(section)
+        if tally is None:
+            self._sent[section] = [1, bits]
+        else:
+            tally[0] += 1
+            tally[1] += bits
+        if self._phase:
+            tally = self._phase_sent.get(self._phase)
+            if tally is None:
+                self._phase_sent[self._phase] = [1, bits]
+            else:
+                tally[0] += 1
+                tally[1] += bits
+
+    # -- handle side (called by the drive loops) -----------------------
+
+    def begin_start(self, node: int, time: float) -> None:
+        idx = len(self.rows)
+        self.rows.append(
+            CausalEvent(
+                idx=idx, kind="start", node=node, sender=-1, time=time,
+                depth=0, msg="", bits=0, section="", phase=self._phase,
+                parent=None, clock=None,
+            )
+        )
+        self._cur = idx
+        self._section = ""
+
+    def begin_deliver(
+        self, seq: int, target: int, sender: int, time: float, depth: int
+    ) -> None:
+        parent, clock, msg, bits, section, phase = self._pending.pop(seq)
+        idx = len(self.rows)
+        self.rows.append(
+            CausalEvent(
+                idx=idx, kind="deliver", node=target, sender=sender,
+                time=time, depth=depth, msg=msg, bits=bits,
+                section=section, phase=phase, parent=parent, clock=clock,
+            )
+        )
+        if depth > self._clocks.get(target, 0):
+            self._clocks[target] = depth
+            self._last_clock[target] = idx
+        self._cur = idx
+        self._section = ""
+
+    # -- digest --------------------------------------------------------
+
+    def summary(self) -> dict[str, Any]:
+        """Flat, JSON-stable attribution digest (what
+        :class:`~repro.analysis.records.RunRecord` carries in its
+        ``causal`` field — a pure function of the run).
+        """
+        crit = 0
+        delivered = 0
+        for row in self.rows:
+            if row.depth > crit:
+                crit = row.depth
+            if row.clock is not None or row.kind == "deliver":
+                delivered += 1
+        return {
+            "crit_len": crit,
+            "events": len(self.rows),
+            "messages": delivered,
+            "in_flight": len(self._pending),
+            "sections": {
+                name: list(tally) for name, tally in sorted(self._sent.items())
+            },
+            "phases": {
+                name: list(tally)
+                for name, tally in sorted(self._phase_sent.items())
+            },
+        }
+
+
+# -- the primitive stamping channel -------------------------------------------
+
+#: The capture the currently-driving network routes stamps into (one
+#: network drives at a time per process; the drive loop swaps this in
+#: per chunk and restores it on exit).
+_ACTIVE: CausalCapture | None = None
+
+
+def swap_active(capture: CausalCapture | None) -> CausalCapture | None:
+    """Install *capture* as the stamp target; returns the previous one."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = capture
+    return previous
+
+
+def stamp(section: str) -> None:
+    """Tag subsequent sends in the current handler as owned by
+    *section*. No-op (one global load + ``None`` check) without an
+    active capture; the tag resets at the next handled event."""
+    cap = _ACTIVE
+    if cap is not None:
+        cap._section = section
+
+
+def stamp_phase(name: str) -> None:
+    """Record that the protocol entered sequencer phase *name* (persists
+    across events until the next phase stamp)."""
+    cap = _ACTIVE
+    if cap is not None:
+        cap._phase = name

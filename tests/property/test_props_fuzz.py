@@ -192,6 +192,28 @@ class TestArbitraryPrefixesAreAdmissible:
             pool.append(cell)
 
 
+causal_digests = st.one_of(
+    st.just({}),
+    st.fixed_dictionaries(
+        {
+            "crit_len": st.integers(0, 10**6),
+            "events": st.integers(0, 10**6),
+            "messages": st.integers(0, 10**6),
+            "in_flight": st.integers(0, 10**3),
+            "sections": st.dictionaries(
+                st.sampled_from(
+                    ("wave", "convergecast", "token_walk", "protocol")
+                ),
+                st.tuples(
+                    st.integers(0, 10**4), st.integers(0, 10**6)
+                ).map(list),
+                max_size=4,
+            ),
+            "phases": st.just({}),
+        }
+    ),
+)
+
 records = st.builds(
     RunRecord,
     family=st.just("gnp_sparse"),
@@ -212,21 +234,31 @@ records = st.builds(
     max_msg_fields=st.integers(0, 16),
     churn=st.sampled_from(("none", "restart_one", "churn_storm")),
     outcome=st.sampled_from(("ok", "stalled", "error")),
+    causal=causal_digests,
 )
 
 
 class TestCoveragePurity:
-    @given(record=records)
+    @given(record=records, opt=st.one_of(st.none(), st.integers(1, 8)))
     @settings(max_examples=80, deadline=None)
-    def test_signature_is_a_pure_function_of_the_record(self, record):
-        """Same record → same bucket, with no hidden state: a rebuilt
-        equal record signs identically, and signing twice never
+    def test_signature_is_a_pure_function_of_the_record(self, record, opt):
+        """Same (record, Δ*) → same bucket, with no hidden state: a
+        rebuilt equal record signs identically, and signing twice never
         diverges (the corpus digest depends on it)."""
-        sig = record_signature(record)
-        assert record_signature(record) == sig
+        sig = record_signature(record, opt)
+        assert record_signature(record, opt) == sig
         clone = RunRecord.from_json_dict(record.to_json_dict())
-        assert record_signature(clone) == sig
+        assert record_signature(clone, opt) == sig
         # the axes the signature buckets on actually reach it
         assert sig[0] == record.algorithm
         assert sig[1] == record.outcome
         assert sig[2] == record.churn
+        # the causal-forensics components ride at the tuple's tail
+        assert isinstance(sig[-1], bool)  # near_bound
+        assert isinstance(sig[-2], tuple)  # per-section message shares
+        for name, share in sig[-2]:
+            assert 0 <= share <= 8
+        if not record.ok or opt is None:
+            assert sig[-1] is False
+        # the one-argument form is the opt-less bucket (grid callers)
+        assert record_signature(record) == record_signature(record, None)

@@ -84,9 +84,16 @@ class TestCells:
 class TestProbe:
     def test_probe_matches_plain_run_when_healthy(self):
         spec = ExplorationCell(family="gnp_sparse", n=8, seed=0).run_specs()[0]
+        from dataclasses import replace
+
         from repro.analysis.executor import execute_cell
 
-        assert probe_cell(spec) == execute_cell(spec)
+        probed = probe_cell(spec)
+        # probes additionally capture the causal provenance digest; the
+        # run itself (every other field) is identical to a plain run
+        assert probed.causal["messages"] == probed.messages
+        assert probed.causal["crit_len"] == probed.causal_time
+        assert replace(probed, causal={}) == execute_cell(spec)
 
     def test_probe_captures_protocol_errors_as_records(self):
         spec = ExplorationCell(

@@ -237,3 +237,107 @@ class TestCorruptionTelemetry:
         (event,) = [f for n, f in t.events if n == "cache.corruption"]
         assert event["segment"] == segment.name  # deduped: one event
         assert "offset" in event and "key" in event
+
+
+class TestSubscriberIsolation:
+    """Satellite contract: observation never corrupts the observed run.
+    A raising subscriber is warned about once, dropped, and everything
+    else — other subscribers, the span stack, the run — continues."""
+
+    def test_raising_subscriber_is_warned_once_and_dropped(self):
+        t = obs.Telemetry()
+        calls = []
+
+        def bad(kind, payload):
+            calls.append(kind)
+            raise RuntimeError("broken observer")
+
+        t.subscribe(bad)
+        with pytest.warns(RuntimeWarning, match="broken observer"):
+            t.count("exec.groups")
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # a second warning would fail
+            t.count("exec.groups", 2)
+        assert calls == ["count"]  # dropped after the first raise
+        assert t.counters == {"exec.groups": 3}  # observation landed
+
+    def test_other_subscribers_still_fire(self):
+        t = obs.Telemetry()
+        seen = []
+
+        def bad(kind, payload):
+            raise ValueError("nope")
+
+        t.subscribe(bad)
+        t.subscribe(lambda kind, payload: seen.append(kind))
+        with pytest.warns(RuntimeWarning):
+            t.event("note", detail="x")
+        t.count("exec.groups")
+        assert seen == ["event", "count"]
+
+    def test_span_stack_survives_a_raising_subscriber(self):
+        t = obs.Telemetry()
+
+        def bad(kind, payload):
+            raise RuntimeError("span observer died")
+
+        t.subscribe(bad)
+        with pytest.warns(RuntimeWarning):
+            with t.span("outer", cells=1):
+                with t.span("inner"):
+                    pass
+        (root,) = t.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner"]
+        assert t._stack == []  # nesting state intact after the drop
+
+
+class TestStalledRunTelemetry:
+    """Telemetry on runs that do not finish: cache/work counters and
+    spans stay deterministic when the outcome is ``stalled`` — under
+    mid-run churn and under fault plans, serial vs parallel vs cached."""
+
+    STORM = SweepSpec(
+        families=("gnp_sparse",), sizes=(8,), seeds=(0, 1, 2),
+        initial_methods=("random",), churns=("churn_storm",),
+    )
+    FAULTY = SweepSpec(
+        families=("gnp_sparse",), sizes=(8,), seeds=(0, 1, 2),
+        initial_methods=("random",), faults=("crash_storm",),
+    )
+
+    @staticmethod
+    def traced(spec, jobs=1, cache=None):
+        with obs.capture(command="sweep") as t:
+            executor = make_executor(jobs=jobs, cache=cache)
+            records = run_sweep(spec, executor=executor)
+            if hasattr(executor, "close"):
+                executor.close()
+        return t, records
+
+    @pytest.mark.parametrize("spec", [STORM, FAULTY], ids=["churn", "fault"])
+    def test_stalled_work_section_identical_across_backends(
+        self, spec, tmp_path
+    ):
+        serial, records = self.traced(spec)
+        assert any(r.outcome == "stalled" for r in records), (
+            "fixture must actually stall for this test to bite"
+        )
+        parallel, _ = self.traced(spec, jobs=2)
+        cold, _ = self.traced(spec, cache=str(tmp_path / "c"))
+        warm, _ = self.traced(spec, cache=str(tmp_path / "c"))
+        sections = [
+            obs.work_section(docs_of(t))
+            for t in (serial, parallel, cold, warm)
+        ]
+        assert sections[0] == sections[1] == sections[2] == sections[3]
+        (group,) = [
+            d for d in sections[0]
+            if d["kind"] == "span" and d["name"] == "group"
+        ]
+        assert group["attrs"]["stalled"] >= 1
+
+    def test_stalled_traces_byte_identical_serial_vs_parallel(self):
+        a = obs.trace_lines(self.traced(self.STORM)[0])
+        b = obs.trace_lines(self.traced(self.STORM, jobs=2)[0])
+        assert a == b

@@ -211,3 +211,123 @@ def test_batch_commands_expose_trace_flags(command):
     help_text = sub.choices[command].format_help()
     assert "--trace-out" in help_text
     assert "--no-trace-deterministic" in help_text
+
+
+class TestObsDiff:
+    def sweep(self, trace, *extra):
+        return main([
+            "sweep", "--families", "ring", "--sizes", "8",
+            "--seeds", "0", "1", "--trace-out", str(trace), *extra,
+        ])
+
+    def test_identical_traces_exit_0(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert self.sweep(a) == 0
+        assert self.sweep(b, "--jobs", "2") == 0
+        capsys.readouterr()
+        assert main(["obs", "--diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_work_divergence_exits_1_with_deltas(self, capsys, tmp_path):
+        a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert self.sweep(a) == 0
+        assert main([
+            "sweep", "--families", "ring", "--sizes", "8",
+            "--seeds", "0", "1", "2", "--trace-out", str(b),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["obs", "--diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        assert "->" in out  # at least one counter/span delta line
+
+    def test_cache_only_deltas_do_not_fail(self, capsys, tmp_path):
+        """The CI warm-replay semantics: cold vs warm traces differ in
+        cache counters but the work section is identical — exit 0."""
+        cache = str(tmp_path / "cache")
+        cold, warm = tmp_path / "cold.jsonl", tmp_path / "warm.jsonl"
+        assert self.sweep(cold, "--cache", cache) == 0
+        assert self.sweep(warm, "--cache", cache) == 0
+        capsys.readouterr()
+        assert main(["obs", "--diff", str(cold), str(warm)]) == 0
+        out = capsys.readouterr().out
+        assert "cache" in out  # the deltas are printed...
+        assert "DIVERGED" not in out  # ...but do not fail the diff
+
+    def test_missing_operand_exits_2(self, capsys, tmp_path):
+        assert main(["obs", "--diff", str(tmp_path / "a"), "missing"]) == 2
+        assert "obs:" in capsys.readouterr().err
+
+    def test_bare_obs_without_trace_exits_2(self, capsys):
+        assert main(["obs"]) == 2
+        assert "give a trace PATH or --diff" in capsys.readouterr().err
+
+
+class TestInspectCommand:
+    def capture(self, tmp_path, *extra):
+        art = tmp_path / "causal.jsonl"
+        rc = main([
+            "run", "--family", "ring", "--n", "10", "--seed", "0",
+            "--causal-out", str(art), *extra,
+        ])
+        return rc, art
+
+    def test_run_writes_inspectable_artifact(self, capsys, tmp_path):
+        rc, art = self.capture(tmp_path)
+        assert rc == 0
+        assert f"causal: {art}" in capsys.readouterr().err
+        assert main(["inspect", str(art)]) == 0
+        out = capsys.readouterr().out
+        assert "causal artifact:" in out
+        assert "critical path:" in out
+
+    def test_attribution_and_critical_path_views(self, capsys, tmp_path):
+        _, art = self.capture(tmp_path)
+        capsys.readouterr()
+        assert main([
+            "inspect", str(art), "--attribution", "--critical-path",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "section" in out and "total" in out
+        assert "depth" in out
+
+    def test_timeline_export_and_json_mode(self, capsys, tmp_path):
+        _, art = self.capture(tmp_path)
+        tl = tmp_path / "timeline.json"
+        capsys.readouterr()
+        assert main([
+            "inspect", str(art), "--timeline", str(tl),
+            "--critical-path", "--json",
+        ]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["crit_len"] == len(
+            payload["critical_path"]
+        )
+        doc = json.loads(tl.read_text(encoding="utf-8"))
+        assert doc["otherData"]["artifact"] == "repro-causal-timeline"
+        assert doc["traceEvents"]
+
+    def test_artifact_byte_identical_across_reruns(self, capsys, tmp_path):
+        _, a = self.capture(tmp_path)
+        b = tmp_path / "again.jsonl"
+        assert main([
+            "run", "--family", "ring", "--n", "10", "--seed", "0",
+            "--causal-out", str(b),
+        ]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_missing_artifact_exits_2(self, capsys, tmp_path):
+        assert main(["inspect", str(tmp_path / "absent.jsonl")]) == 2
+        assert "inspect:" in capsys.readouterr().err
+
+    def test_stalled_run_still_writes_artifact(self, capsys, tmp_path):
+        art = tmp_path / "stalled.jsonl"
+        rc = main([
+            "run", "--family", "gnp_sparse", "--n", "12", "--seed", "0",
+            "--fault", "crash_storm", "--causal-out", str(art),
+        ])
+        err = capsys.readouterr().err
+        if rc == 1:  # the plan actually stalled this instance
+            assert "stalled" in err
+            assert main(["inspect", str(art)]) == 0
